@@ -1,0 +1,43 @@
+// Shared helpers for the per-table / per-figure benchmark binaries.
+//
+// Every binary reproduces one table or figure of the paper on the
+// default (year-scale) scenario and prints paper-vs-measured rows.
+// Because the full run takes tens of seconds on a laptop core, binaries
+// accept an optional first argument to shorten the simulated period:
+//
+//   ./table1_dataset            # full simulated year (default)
+//   ./table1_dataset 84         # 84 simulated days (12 weeks)
+//
+// and an optional second argument to change the scenario seed.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "analysis/report.h"
+
+namespace ct::bench {
+
+inline analysis::ScenarioConfig scenario_from_args(int argc, char** argv) {
+  analysis::ScenarioConfig config = analysis::default_scenario();
+  if (argc > 1) {
+    const long days = std::strtol(argv[1], nullptr, 10);
+    if (days > 0) config.platform.num_days = static_cast<util::Day>(days);
+  }
+  if (argc > 2) config.seed = std::strtoull(argv[2], nullptr, 10);
+  return config;
+}
+
+inline void print_banner(const std::string& what, const analysis::ScenarioConfig& config) {
+  std::cout << "churntomo bench: " << what << "\n"
+            << "scenario: " << config.topology.num_ases << " ASes, "
+            << config.platform.num_vantages << " vantage ASes x "
+            << config.platform.vp_nodes_per_as << " nodes, " << config.platform.num_urls
+            << " URLs, " << config.platform.num_dest_ases << " destination ASes, "
+            << config.platform.num_days << " days, seed " << config.seed << "\n\n";
+}
+
+}  // namespace ct::bench

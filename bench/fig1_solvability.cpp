@@ -1,0 +1,15 @@
+// Reproduces Figure 1: number of SAT solutions per CNF, split by CNF
+// granularity (1a) and anomaly type (1b), plus the paper's headline
+// solvability fractions.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const auto config = ct::bench::scenario_from_args(argc, argv);
+  ct::bench::print_banner("Figure 1 (CNF solvability)", config);
+  ct::analysis::Scenario scenario(config);
+  const auto result = ct::analysis::run_experiment(scenario);
+  std::cout << ct::analysis::render_fig1a(result) << "\n"
+            << ct::analysis::render_fig1b(result) << "\n"
+            << ct::analysis::render_headline(result);
+  return 0;
+}

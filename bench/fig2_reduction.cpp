@@ -1,0 +1,12 @@
+// Reproduces Figure 2: CDF of the reduction in the potential-censor
+// candidate set for CNFs with two or more solutions.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const auto config = ct::bench::scenario_from_args(argc, argv);
+  ct::bench::print_banner("Figure 2 (candidate-set reduction)", config);
+  ct::analysis::Scenario scenario(config);
+  const auto result = ct::analysis::run_experiment(scenario);
+  std::cout << ct::analysis::render_fig2(result);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Figure 3: number of distinct AS-level paths observed per
+// (source, destination) pair over day / week / month / year periods,
+// plus the churn-by-destination-class null result.
+//
+// Censorship measurements are irrelevant here, so the scenario runs with
+// test_prob = 0 (routing and churn only) — much faster than the full
+// pipeline at identical routing fidelity.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  auto config = ct::bench::scenario_from_args(argc, argv);
+  config.platform.test_prob = 0.0;
+  ct::bench::print_banner("Figure 3 (path churn)", config);
+  ct::analysis::Scenario scenario(config);
+  const auto result = ct::analysis::run_experiment(scenario);
+  std::cout << ct::analysis::render_fig3(result);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces Figure 4: the churn ablation.  Each CNF is rebuilt using
+// only the first observed distinct path per (vantage, URL) pair; the
+// resulting solution-count histograms show how unsolvable-in-the-useful-
+// sense (many solutions) the problem becomes without path churn.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const auto config = ct::bench::scenario_from_args(argc, argv);
+  ct::bench::print_banner("Figure 4 (no-churn ablation)", config);
+  ct::analysis::Scenario scenario(config);
+  const auto result = ct::analysis::run_experiment(scenario);
+  std::cout << ct::analysis::render_fig4(result) << "\n";
+  std::cout << "For contrast, WITH churn (Figure 1a):\n"
+            << ct::analysis::render_fig1a(result);
+  return 0;
+}

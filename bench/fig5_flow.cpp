@@ -1,0 +1,13 @@
+// Reproduces Figure 5: the flow of censorship across borders — which
+// countries host censoring ASes and where their policies leak to,
+// rendered as the top country-to-country flows.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const auto config = ct::bench::scenario_from_args(argc, argv);
+  ct::bench::print_banner("Figure 5 (flow of censorship)", config);
+  ct::analysis::Scenario scenario(config);
+  const auto result = ct::analysis::run_experiment(scenario);
+  std::cout << ct::analysis::render_fig5(result);
+  return 0;
+}

@@ -1,0 +1,195 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// components: RNG, IP-to-AS lookup, BGP route computation, traceroute
+// synthesis + inference, SAT solving/enumeration/counting, and clause
+// building.
+#include <benchmark/benchmark.h>
+
+#include "analysis/scenario.h"
+#include "bgp/routing.h"
+#include "net/traceroute.h"
+#include "sat/counter.h"
+#include "sat/enumerate.h"
+#include "sat/solver.h"
+#include "tomo/clause.h"
+#include "topo/generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ct;
+
+topo::AsGraph& bench_graph() {
+  static topo::AsGraph graph = [] {
+    topo::TopologyConfig cfg;
+    cfg.num_ases = 650;
+    cfg.num_tier1 = 9;
+    cfg.num_transit = 120;
+    cfg.num_countries = 40;
+    return topo::generate_topology(cfg, 1);
+  }();
+  return graph;
+}
+
+net::AddressPlan& bench_plan() {
+  static net::AddressPlan plan = net::allocate_prefixes(bench_graph(), {});
+  return plan;
+}
+
+net::Ip2AsDb& bench_db() {
+  static net::Ip2AsDb db = net::build_ip2as(bench_plan());
+  return db;
+}
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_Ip2AsLookup(benchmark::State& state) {
+  auto& db = bench_db();
+  util::Rng rng(2);
+  std::vector<net::Ip4> ips;
+  for (int i = 0; i < 1024; ++i) {
+    ips.push_back(static_cast<net::Ip4>((10u << 24) | rng.uniform_int(0, (1 << 24) - 1)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.lookup(ips[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_Ip2AsLookup);
+
+void BM_RouteCompute(benchmark::State& state) {
+  const auto& graph = bench_graph();
+  const bgp::RouteComputer computer(graph);
+  const std::vector<bool> up(static_cast<std::size_t>(graph.num_links()), true);
+  topo::AsId dest = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computer.compute(dest, up));
+    dest = (dest + 1) % graph.num_ases();
+  }
+}
+BENCHMARK(BM_RouteCompute);
+
+void BM_PathReconstruction(benchmark::State& state) {
+  const auto& graph = bench_graph();
+  const bgp::RouteComputer computer(graph);
+  const bgp::RouteTable table = computer.compute(graph.num_ases() - 1);
+  topo::AsId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.path(src));
+    src = (src + 1) % (graph.num_ases() - 1);
+  }
+}
+BENCHMARK(BM_PathReconstruction);
+
+void BM_TracerouteTripleAndInference(benchmark::State& state) {
+  const net::TracerouteEngine engine(bench_plan(), {});
+  util::Rng rng(3);
+  const std::vector<topo::AsId> path{5, 120, 9, 200, 400};
+  for (auto _ : state) {
+    const auto triple = engine.trace_triple(path, {}, 0.0, rng);
+    benchmark::DoNotOptimize(net::infer_as_path(triple, bench_db()));
+  }
+}
+BENCHMARK(BM_TracerouteTripleAndInference);
+
+sat::Cnf tomo_shaped_cnf(int vars, int positives, int negatives, std::uint64_t seed) {
+  util::Rng rng(seed);
+  sat::Cnf cnf;
+  cnf.num_vars = vars;
+  for (int i = 0; i < positives; ++i) {
+    std::vector<sat::Lit> clause;
+    for (int k = 0; k < 5; ++k) {
+      clause.emplace_back(static_cast<sat::Var>(rng.index(static_cast<std::size_t>(vars))),
+                          false);
+    }
+    cnf.add_clause(std::move(clause));
+  }
+  for (int i = 0; i < negatives; ++i) {
+    cnf.add_clause({sat::Lit(static_cast<sat::Var>(rng.index(static_cast<std::size_t>(vars))),
+                             true)});
+  }
+  return cnf;
+}
+
+void BM_SatSolveTomoShaped(benchmark::State& state) {
+  const sat::Cnf cnf = tomo_shaped_cnf(40, 6, 30, 7);
+  for (auto _ : state) {
+    sat::Solver solver;
+    solver.add_cnf(cnf);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SatSolveTomoShaped);
+
+void BM_SatSolvePigeonhole(benchmark::State& state) {
+  // PHP(7,6): a genuinely hard UNSAT instance for resolution.
+  sat::Cnf cnf;
+  const int pigeons = 7, holes = 6;
+  cnf.num_vars = pigeons * holes;
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<sat::Lit> c;
+    for (int h = 0; h < holes; ++h) c.emplace_back(p * holes + h, false);
+    cnf.add_clause(c);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.add_clause({sat::Lit(p1 * holes + h, true), sat::Lit(p2 * holes + h, true)});
+      }
+    }
+  }
+  for (auto _ : state) {
+    sat::Solver solver;
+    solver.add_cnf(cnf);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_SatSolvePigeonhole);
+
+void BM_SatEnumerate(benchmark::State& state) {
+  const sat::Cnf cnf = tomo_shaped_cnf(30, 3, 20, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sat::enumerate_models(cnf, {.max_models = 6}));
+  }
+}
+BENCHMARK(BM_SatEnumerate);
+
+void BM_SatPotentialTrueVars(benchmark::State& state) {
+  const sat::Cnf cnf = tomo_shaped_cnf(40, 4, 25, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sat::potential_true_vars(cnf));
+  }
+}
+BENCHMARK(BM_SatPotentialTrueVars);
+
+void BM_ModelCount(benchmark::State& state) {
+  const sat::Cnf cnf = tomo_shaped_cnf(24, 4, 10, 17);
+  for (auto _ : state) {
+    sat::ModelCounter counter;
+    benchmark::DoNotOptimize(counter.count(cnf));
+  }
+}
+BENCHMARK(BM_ModelCount);
+
+void BM_ClauseBuild(benchmark::State& state) {
+  const net::TracerouteEngine engine(bench_plan(), {});
+  util::Rng rng(19);
+  const std::vector<topo::AsId> path{5, 120, 9, 200, 400};
+  iclab::Measurement m;
+  m.vantage = 5;
+  m.url_id = 1;
+  m.day = 0;
+  m.traceroutes = engine.trace_triple(path, {}, 0.0, rng);
+  tomo::ClauseBuilder builder(bench_db());
+  for (auto _ : state) {
+    builder.on_measurement(m);
+  }
+}
+BENCHMARK(BM_ClauseBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,13 @@
+// Reproduces Table 1: dataset characteristics (measurement counts and
+// per-anomaly detection rates), plus the §3.1 clause-elimination
+// statistics the paper describes.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const auto config = ct::bench::scenario_from_args(argc, argv);
+  ct::bench::print_banner("Table 1 (dataset characteristics)", config);
+  ct::analysis::Scenario scenario(config);
+  const auto result = ct::analysis::run_experiment(scenario);
+  std::cout << ct::analysis::render_table1(result);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Reproduces Table 2: regions with the most censoring ASes and the
+// anomaly types they implement, plus ground-truth validation of the
+// identified censor set (a simulation-only check the paper could not
+// perform).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const auto config = ct::bench::scenario_from_args(argc, argv);
+  ct::bench::print_banner("Table 2 (censoring ASes by region)", config);
+  ct::analysis::Scenario scenario(config);
+  const auto result = ct::analysis::run_experiment(scenario);
+  std::cout << ct::analysis::render_table2(result) << "\n"
+            << ct::analysis::render_score(result, scenario);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Diagnose residual ambiguity: inspect multi-solution day-granularity
+// CNFs and classify which ASes stay unpinned — true censors, vantage
+// ASes, destinations, or transit ASes that never appeared on a clean
+// path.  Useful for understanding when the method cannot pin a censor
+// (the cases the paper reports as "2+ solutions").
+//
+//   $ ./diagnose_ambiguity
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "analysis/experiment.h"
+#include "analysis/scenario.h"
+#include "iclab/platform.h"
+#include "tomo/clause.h"
+#include "tomo/cnf_builder.h"
+#include "tomo/engine.h"
+
+using namespace ct;
+
+int main() {
+  analysis::ScenarioConfig config = analysis::default_scenario();
+  config.platform.num_days = 56;  // 8 weeks is enough for diagnosis
+  analysis::Scenario scenario(config);
+
+  tomo::ClauseBuilder builder(scenario.ip2as());
+  scenario.platform().run(builder);
+
+  tomo::CnfBuildOptions opts;
+  opts.granularities = {util::Granularity::kDay};
+  const auto cnfs = tomo::build_cnfs(builder.pool(), builder.clauses(), opts);
+  const auto verdicts = tomo::analyze_cnfs(cnfs);
+
+  const auto& graph = scenario.graph();
+  std::set<topo::AsId> vantage_set(scenario.platform().vantages().begin(),
+                                   scenario.platform().vantages().end());
+  std::set<topo::AsId> dest_set(scenario.platform().dest_ases().begin(),
+                                scenario.platform().dest_ases().end());
+  std::set<topo::AsId> truth;
+  for (const auto as : scenario.registry().censor_ases()) truth.insert(as);
+
+  std::map<std::string, int> role_counts;
+  int multi = 0, uniq = 0, unsat = 0, shown = 0;
+  for (std::size_t i = 0; i < cnfs.size(); ++i) {
+    const auto& v = verdicts[i];
+    if (v.solution_class == 0) ++unsat;
+    if (v.solution_class == 1) ++uniq;
+    if (v.solution_class != 2) continue;
+    ++multi;
+    for (const auto as : v.potential_censors) {
+      std::string role;
+      if (truth.count(as)) role = "true-censor";
+      else if (vantage_set.count(as)) role = "vantage";
+      else if (dest_set.count(as)) role = "dest";
+      else if (graph.as_info(as).tier == topo::AsTier::kStub) role = "other-stub";
+      else if (graph.as_info(as).tier == topo::AsTier::kTier1) role = "tier1";
+      else role = "transit";
+      ++role_counts[role];
+    }
+    if (shown < 8) {
+      ++shown;
+      std::cout << "multi CNF url=" << v.key.url_id << " day=" << v.key.window
+                << " anomaly=" << censor::short_label(v.key.anomaly)
+                << " vars=" << v.num_vars << " potential=";
+      for (const auto as : v.potential_censors) {
+        std::string role = truth.count(as) ? "CENSOR" : vantage_set.count(as) ? "VP"
+                           : dest_set.count(as)       ? "DEST"
+                           : topo::to_string(graph.as_info(as).tier);
+        std::cout << " " << graph.as_info(as).asn << "(" << role << ")";
+      }
+      std::cout << "\n";
+      const auto& tc = cnfs[i];
+      std::cout << "  positives=" << tc.num_positive_clauses
+                << " negunits=" << tc.num_negative_units << "\n";
+    }
+  }
+  std::cout << "\nday CNFs: uniq=" << uniq << " multi=" << multi << " unsat=" << unsat
+            << "\npotential-censor roles across multi CNFs:\n";
+  for (const auto& [role, count] : role_counts) {
+    std::cout << "  " << role << ": " << count << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Full evaluation report on the default (year-scale) scenario: every
+// table and figure of the paper, plus ground-truth validation.  Also
+// drops plot-ready CSV series for each figure.
+//
+//   $ ./full_report [seed] [csv-dir]
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/csv_export.h"
+#include "analysis/experiment.h"
+#include "analysis/report.h"
+
+int main(int argc, char** argv) {
+  ct::analysis::ScenarioConfig config = ct::analysis::default_scenario();
+  if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
+
+  std::cout << "churntomo full report: seed " << config.seed << ", "
+            << config.topology.num_ases << " ASes, " << config.platform.num_vantages
+            << " vantage ASes x " << config.platform.vp_nodes_per_as << " nodes, "
+            << config.platform.num_urls << " URLs, " << config.platform.num_days
+            << " days\n\n";
+
+  ct::analysis::Scenario scenario(config);
+  const ct::analysis::ExperimentResult result = ct::analysis::run_experiment(scenario);
+  std::cout << ct::analysis::render_all(result, scenario);
+
+  const std::string csv_dir = argc > 2 ? argv[2] : "report_csv";
+  const int files = ct::analysis::write_all_csv(csv_dir, result);
+  std::cout << "\nwrote " << files << " CSV series to " << csv_dir << "/\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "analysis/churn_stats.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+
+namespace ct::analysis {
+
+namespace {
+
+std::uint64_t path_signature(const std::vector<topo::AsId>& path) {
+  if (path.empty()) return 0;
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const topo::AsId as : path) {
+    h = util::mix64(h, static_cast<std::uint64_t>(as) + 1);
+  }
+  return h == 0 ? 1 : h;  // reserve 0 for "no path"
+}
+
+}  // namespace
+
+PathChurnTracker::PathChurnTracker(const topo::AsGraph& graph,
+                                   std::vector<topo::AsId> vantages,
+                                   std::vector<topo::AsId> dests, util::Day num_days,
+                                   std::int32_t epochs_per_day)
+    : graph_(graph),
+      vantages_(std::move(vantages)),
+      dests_(std::move(dests)),
+      num_days_(num_days),
+      epochs_per_day_(epochs_per_day) {
+  for (std::size_t i = 0; i < vantages_.size(); ++i) vantage_index_[vantages_[i]] = i;
+  for (std::size_t i = 0; i < dests_.size(); ++i) dest_index_[dests_[i]] = i;
+  signatures_.assign(vantages_.size() * dests_.size(),
+                     std::vector<std::uint64_t>(
+                         static_cast<std::size_t>(num_days) *
+                             static_cast<std::size_t>(epochs_per_day),
+                         0));
+}
+
+void PathChurnTracker::on_path(util::Day day, std::int32_t epoch, topo::AsId vantage,
+                               topo::AsId dest, const std::vector<topo::AsId>& path) {
+  const auto vi = vantage_index_.find(vantage);
+  const auto di = dest_index_.find(dest);
+  if (vi == vantage_index_.end() || di == dest_index_.end()) return;
+  if (day < 0 || day >= num_days_ || epoch < 0 || epoch >= epochs_per_day_) return;
+  const auto slot = static_cast<std::size_t>(day) * static_cast<std::size_t>(epochs_per_day_) +
+                    static_cast<std::size_t>(epoch);
+  signatures_[pair_index(vi->second, di->second)][slot] = path_signature(path);
+}
+
+ChurnStats PathChurnTracker::compute() const {
+  ChurnStats stats;
+  const std::size_t epochs_total =
+      static_cast<std::size_t>(num_days_) * static_cast<std::size_t>(epochs_per_day_);
+
+  for (const util::Granularity g : util::kAllGranularities) {
+    util::BucketedCounts counts(4);  // buckets 0..4 + "5+"; 0 never used
+    std::int64_t samples = 0;
+    std::int64_t changed = 0;
+    const std::size_t window_epochs = static_cast<std::size_t>(util::window_length(g)) *
+                                      static_cast<std::size_t>(epochs_per_day_);
+
+    for (const auto& sigs : signatures_) {
+      for (std::size_t start = 0; start < epochs_total; start += window_epochs) {
+        const std::size_t end = std::min(start + window_epochs, epochs_total);
+        std::set<std::uint64_t> distinct;
+        for (std::size_t t = start; t < end; ++t) {
+          if (sigs[t] != 0) distinct.insert(sigs[t]);
+        }
+        if (distinct.empty()) continue;  // pair unobserved in this window
+        counts.add(static_cast<std::int64_t>(distinct.size()));
+        ++samples;
+        changed += distinct.size() >= 2 ? 1 : 0;
+      }
+    }
+    stats.changed_fraction[g] =
+        samples == 0 ? 0.0 : static_cast<double>(changed) / static_cast<double>(samples);
+    stats.distinct_paths.emplace(g, std::move(counts));
+  }
+
+  // Churn by destination class over the full run (year window).
+  std::map<topo::AsClass, std::pair<std::int64_t, std::int64_t>> by_class;  // (changed, total)
+  for (std::size_t vi = 0; vi < vantages_.size(); ++vi) {
+    for (std::size_t di = 0; di < dests_.size(); ++di) {
+      const auto& sigs = signatures_[pair_index(vi, di)];
+      std::set<std::uint64_t> distinct;
+      for (const std::uint64_t s : sigs) {
+        if (s != 0) distinct.insert(s);
+      }
+      if (distinct.empty()) continue;
+      auto& [chg, tot] = by_class[graph_.as_info(dests_[di]).cls];
+      ++tot;
+      chg += distinct.size() >= 2 ? 1 : 0;
+    }
+  }
+  for (const auto& [cls, counts] : by_class) {
+    stats.changed_by_dest_class[cls] =
+        counts.second == 0 ? 0.0
+                           : static_cast<double>(counts.first) /
+                                 static_cast<double>(counts.second);
+  }
+  return stats;
+}
+
+std::int64_t PathChurnTracker::distinct_paths_of_pair(topo::AsId vantage,
+                                                      topo::AsId dest) const {
+  const auto vi = vantage_index_.find(vantage);
+  const auto di = dest_index_.find(dest);
+  if (vi == vantage_index_.end() || di == dest_index_.end()) return 0;
+  std::set<std::uint64_t> distinct;
+  for (const std::uint64_t s : signatures_[pair_index(vi->second, di->second)]) {
+    if (s != 0) distinct.insert(s);
+  }
+  return static_cast<std::int64_t>(distinct.size());
+}
+
+}  // namespace ct::analysis

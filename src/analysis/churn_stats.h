@@ -1,0 +1,64 @@
+// Path-churn measurement (paper Figure 3).
+//
+// PathChurnTracker attaches to the platform as a sink and records a
+// compact signature of the BGP path for every (vantage, destination)
+// pair at every routing epoch.  From those it computes, per time
+// granularity, the distribution of the number of distinct paths a pair
+// exhibits inside one window — the paper's Figure 3 — plus the
+// churn-by-destination-class breakdown (the paper's null result).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "iclab/platform.h"
+#include "topo/as_graph.h"
+#include "util/stats.h"
+#include "util/timewin.h"
+
+namespace ct::analysis {
+
+struct ChurnStats {
+  /// Per granularity: histogram of distinct-path counts per
+  /// (pair, window) sample — buckets 1..4 plus "5+".
+  std::map<util::Granularity, util::BucketedCounts> distinct_paths;
+  /// Per granularity: fraction of samples with >= 2 distinct paths.
+  std::map<util::Granularity, double> changed_fraction;
+  /// Year-window changed fraction split by destination AS class.
+  std::map<topo::AsClass, double> changed_by_dest_class;
+};
+
+class PathChurnTracker : public iclab::MeasurementSink {
+ public:
+  PathChurnTracker(const topo::AsGraph& graph, std::vector<topo::AsId> vantages,
+                   std::vector<topo::AsId> dests, util::Day num_days,
+                   std::int32_t epochs_per_day);
+
+  void on_measurement(const iclab::Measurement&) override {}
+  void on_path(util::Day day, std::int32_t epoch, topo::AsId vantage, topo::AsId dest,
+               const std::vector<topo::AsId>& path) override;
+
+  /// Computes the Figure-3 statistics from everything recorded so far.
+  ChurnStats compute() const;
+
+  /// Distinct (non-empty) paths for one pair over the whole run.
+  std::int64_t distinct_paths_of_pair(topo::AsId vantage, topo::AsId dest) const;
+
+ private:
+  std::size_t pair_index(std::size_t vi, std::size_t di) const {
+    return vi * dests_.size() + di;
+  }
+
+  const topo::AsGraph& graph_;
+  std::vector<topo::AsId> vantages_;
+  std::vector<topo::AsId> dests_;
+  std::map<topo::AsId, std::size_t> vantage_index_;
+  std::map<topo::AsId, std::size_t> dest_index_;
+  util::Day num_days_;
+  std::int32_t epochs_per_day_;
+  /// signatures_[pair][epoch]; 0 = unreachable / not recorded.
+  std::vector<std::vector<std::uint64_t>> signatures_;
+};
+
+}  // namespace ct::analysis

@@ -1,0 +1,122 @@
+#include "analysis/csv_export.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+namespace ct::analysis {
+
+namespace {
+
+std::string csv_quote(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_fig1a_csv(std::ostream& out, const ExperimentResult& result) {
+  out << "granularity,zero_solutions,one_solution,two_plus,cnfs\n";
+  for (const auto& [g, split] : result.fig1.by_granularity) {
+    out << util::to_string(g) << "," << split.fraction(0) << "," << split.fraction(1)
+        << "," << split.fraction(2) << "," << split.total() << "\n";
+  }
+}
+
+void write_fig1b_csv(std::ostream& out, const ExperimentResult& result) {
+  out << "anomaly,zero_solutions,one_solution,two_plus,cnfs\n";
+  for (const auto& [a, split] : result.fig1.by_anomaly) {
+    out << censor::short_label(a) << "," << split.fraction(0) << "," << split.fraction(1)
+        << "," << split.fraction(2) << "," << split.total() << "\n";
+  }
+}
+
+void write_fig2_csv(std::ostream& out, const ExperimentResult& result) {
+  out << "reduction_percent,cdf\n";
+  std::vector<double> sorted = result.fig2.reduction_percent;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    out << sorted[i] << "," << static_cast<double>(i + 1) / n << "\n";
+  }
+}
+
+void write_fig3_csv(std::ostream& out, const ExperimentResult& result) {
+  out << "period,one_path,two,three,four,five_plus,changed_fraction\n";
+  for (const auto& [g, counts] : result.fig3.distinct_paths) {
+    out << util::to_string(g) << "," << counts.fraction(1) << "," << counts.fraction(2)
+        << "," << counts.fraction(3) << "," << counts.fraction(4) << ","
+        << counts.overflow_fraction() << "," << result.fig3.changed_fraction.at(g) << "\n";
+  }
+}
+
+void write_fig4_csv(std::ostream& out, const ExperimentResult& result) {
+  out << "granularity,zero,one,two,three,four,five_plus\n";
+  for (const auto& [g, counts] : result.fig4.solution_counts) {
+    out << util::to_string(g);
+    for (int v = 0; v <= 4; ++v) out << "," << counts.fraction(v);
+    out << "," << counts.overflow_fraction() << "\n";
+  }
+}
+
+void write_table2_csv(std::ostream& out, const ExperimentResult& result) {
+  out << "country,censor_count,censor_asns,anomalies\n";
+  for (const auto& row : result.table2) {
+    std::string asns, anomalies;
+    for (const auto asn : row.censor_asns) {
+      if (!asns.empty()) asns += ";";
+      asns += "AS" + std::to_string(asn);
+    }
+    for (const auto a : row.anomalies) {
+      if (!anomalies.empty()) anomalies += ";";
+      anomalies += censor::short_label(a);
+    }
+    out << row.country_code << "," << row.censor_asns.size() << "," << csv_quote(asns)
+        << "," << csv_quote(anomalies) << "\n";
+  }
+}
+
+void write_table3_csv(std::ostream& out, const ExperimentResult& result) {
+  out << "asn,country,leaked_ases,leaked_countries\n";
+  for (const auto& row : result.table3) {
+    out << "AS" << row.asn << "," << row.country_code << "," << row.leaked_ases << ","
+        << row.leaked_countries << "\n";
+  }
+}
+
+void write_fig5_csv(std::ostream& out, const ExperimentResult& result) {
+  out << "censor_country,victim_country,weight,same_region\n";
+  for (const auto& flow : result.fig5.flows) {
+    out << flow.censor_country << "," << flow.victim_country << "," << flow.weight << ","
+        << (flow.same_region ? 1 : 0) << "\n";
+  }
+}
+
+int write_all_csv(const std::string& directory, const ExperimentResult& result) {
+  std::filesystem::create_directories(directory);
+  const std::filesystem::path dir(directory);
+  int written = 0;
+  const auto emit = [&](const char* name, auto writer) {
+    std::ofstream out(dir / name);
+    writer(out, result);
+    ++written;
+  };
+  emit("fig1a.csv", write_fig1a_csv);
+  emit("fig1b.csv", write_fig1b_csv);
+  emit("fig2_cdf.csv", write_fig2_csv);
+  emit("fig3.csv", write_fig3_csv);
+  emit("fig4.csv", write_fig4_csv);
+  emit("table2.csv", write_table2_csv);
+  emit("table3.csv", write_table3_csv);
+  emit("fig5_flows.csv", write_fig5_csv);
+  return written;
+}
+
+}  // namespace ct::analysis

@@ -1,0 +1,32 @@
+// CSV export of experiment results — the machine-readable counterpart of
+// the text reports, for regenerating the paper's figures with any
+// plotting tool.
+//
+// Each function writes one figure's data series with a header row;
+// write_all_csv() drops every series into a directory as fig1a.csv,
+// fig1b.csv, fig2_cdf.csv, fig3.csv, fig4.csv, table2.csv, table3.csv,
+// fig5_flows.csv.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/experiment.h"
+
+namespace ct::analysis {
+
+void write_fig1a_csv(std::ostream& out, const ExperimentResult& result);
+void write_fig1b_csv(std::ostream& out, const ExperimentResult& result);
+/// One row per multi-solution CNF: reduction percent + CDF position.
+void write_fig2_csv(std::ostream& out, const ExperimentResult& result);
+void write_fig3_csv(std::ostream& out, const ExperimentResult& result);
+void write_fig4_csv(std::ostream& out, const ExperimentResult& result);
+void write_table2_csv(std::ostream& out, const ExperimentResult& result);
+void write_table3_csv(std::ostream& out, const ExperimentResult& result);
+void write_fig5_csv(std::ostream& out, const ExperimentResult& result);
+
+/// Writes every series to `directory` (created if missing).  Returns the
+/// number of files written.
+int write_all_csv(const std::string& directory, const ExperimentResult& result);
+
+}  // namespace ct::analysis

@@ -1,0 +1,270 @@
+#include "analysis/experiment.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ct::analysis {
+
+namespace {
+
+/// Records which ground-truth censors actually produced at least one
+/// detected anomaly during the run ("observable" censors: the best any
+/// inference could do).
+class TruthTracker : public iclab::MeasurementSink {
+ public:
+  TruthTracker(const censor::CensorRegistry& registry, const iclab::Platform& platform)
+      : registry_(registry), platform_(platform) {}
+
+  void on_measurement(const iclab::Measurement& m) override {
+    if (m.unreachable) return;
+    for (const censor::Anomaly a : censor::kAllAnomalies) {
+      const auto ai = static_cast<std::size_t>(a);
+      if (!m.truth_censored[ai] || !m.detected[ai]) continue;
+      const auto& url = platform_.urls()[static_cast<std::size_t>(m.url_id)];
+      const topo::AsId censor =
+          registry_.first_censor_on_path(m.truth_path, url.category, a, m.day);
+      if (censor != topo::kInvalidAs) observable_.insert(censor);
+    }
+  }
+
+  std::vector<topo::AsId> observable() const {
+    return {observable_.begin(), observable_.end()};
+  }
+
+ private:
+  const censor::CensorRegistry& registry_;
+  const iclab::Platform& platform_;
+  std::set<topo::AsId> observable_;
+};
+
+Fig1Data make_fig1(const std::vector<tomo::CnfVerdict>& verdicts,
+                   const std::vector<util::Granularity>& granularities) {
+  Fig1Data fig1;
+  for (const util::Granularity g : granularities) fig1.by_granularity[g];  // fixed order
+  for (const censor::Anomaly a : censor::kAllAnomalies) fig1.by_anomaly[a];
+  for (const auto& v : verdicts) {
+    const auto cls = static_cast<std::size_t>(v.solution_class);
+    ++fig1.overall.count[cls];
+    ++fig1.by_anomaly[v.key.anomaly].count[cls];
+    const auto it = fig1.by_granularity.find(v.key.granularity);
+    if (it != fig1.by_granularity.end()) ++it->second.count[cls];
+  }
+  return fig1;
+}
+
+Fig2Data make_fig2(const std::vector<tomo::CnfVerdict>& verdicts) {
+  Fig2Data fig2;
+  double sum = 0.0;
+  std::int64_t none = 0;
+  for (const auto& v : verdicts) {
+    if (v.solution_class != 2) continue;
+    ++fig2.multi_solution_cnfs;
+    const double pct = 100.0 * v.reduction_fraction;
+    fig2.reduction_percent.push_back(pct);
+    sum += pct;
+    none += v.definite_noncensors.empty() ? 1 : 0;
+  }
+  if (fig2.multi_solution_cnfs > 0) {
+    fig2.mean_reduction_percent = sum / static_cast<double>(fig2.multi_solution_cnfs);
+    fig2.fraction_no_elimination =
+        static_cast<double>(none) / static_cast<double>(fig2.multi_solution_cnfs);
+  }
+  return fig2;
+}
+
+Fig4Data make_fig4(const tomo::PathPool& pool, const std::vector<tomo::PathClause>& clauses,
+                   const ExperimentOptions& options) {
+  Fig4Data fig4;
+  const std::vector<tomo::PathClause> stripped = tomo::strip_path_churn(pool, clauses);
+  tomo::CnfBuildOptions build;
+  build.granularities = options.fig1_granularities;
+  const std::vector<tomo::TomoCnf> cnfs = tomo::build_cnfs(pool, stripped, build);
+  const std::vector<tomo::CnfVerdict> verdicts = tomo::analyze_cnfs(cnfs, options.analysis);
+
+  for (const util::Granularity g : options.fig1_granularities) {
+    fig4.solution_counts.emplace(g, util::BucketedCounts(4));
+  }
+  std::int64_t five_plus = 0;
+  std::int64_t total = 0;
+  for (const auto& v : verdicts) {
+    auto it = fig4.solution_counts.find(v.key.granularity);
+    if (it == fig4.solution_counts.end()) continue;
+    it->second.add(static_cast<std::int64_t>(v.capped_count));
+    ++total;
+    five_plus += v.capped_count >= 5 ? 1 : 0;
+  }
+  fig4.fraction_five_plus =
+      total == 0 ? 0.0 : static_cast<double>(five_plus) / static_cast<double>(total);
+  return fig4;
+}
+
+std::vector<Table2Row> make_table2(const topo::AsGraph& graph,
+                                   const std::vector<topo::AsId>& censors,
+                                   const std::map<topo::AsId, std::set<censor::Anomaly>>&
+                                       censor_anomalies) {
+  std::map<std::string, Table2Row> by_country;
+  for (const topo::AsId as : censors) {
+    const std::string code = graph.country_of(as).code;
+    Table2Row& row = by_country[code];
+    row.country_code = code;
+    row.censor_asns.push_back(graph.as_info(as).asn);
+    if (const auto it = censor_anomalies.find(as); it != censor_anomalies.end()) {
+      for (const censor::Anomaly a : it->second) {
+        if (std::find(row.anomalies.begin(), row.anomalies.end(), a) == row.anomalies.end()) {
+          row.anomalies.push_back(a);
+        }
+      }
+    }
+  }
+  std::vector<Table2Row> rows;
+  for (auto& [code, row] : by_country) {
+    std::sort(row.censor_asns.begin(), row.censor_asns.end());
+    std::sort(row.anomalies.begin(), row.anomalies.end(),
+              [](censor::Anomaly a, censor::Anomaly b) {
+                return static_cast<int>(a) < static_cast<int>(b);
+              });
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Table2Row& a, const Table2Row& b) {
+    if (a.censor_asns.size() != b.censor_asns.size()) {
+      return a.censor_asns.size() > b.censor_asns.size();
+    }
+    return a.country_code < b.country_code;
+  });
+  return rows;
+}
+
+std::vector<Table3Row> make_table3(const topo::AsGraph& graph,
+                                   const tomo::LeakageReport& leakage) {
+  std::vector<Table3Row> rows;
+  for (const auto& [censor, leaks] : leakage.by_censor) {
+    Table3Row row;
+    row.asn = graph.as_info(censor).asn;
+    row.country_code = graph.country_of(censor).code;
+    row.leaked_ases = static_cast<std::int64_t>(leaks.victim_ases.size());
+    row.leaked_countries = static_cast<std::int64_t>(leaks.victim_countries.size());
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Table3Row& a, const Table3Row& b) {
+    if (a.leaked_ases != b.leaked_ases) return a.leaked_ases > b.leaked_ases;
+    if (a.leaked_countries != b.leaked_countries) return a.leaked_countries > b.leaked_countries;
+    return a.asn < b.asn;
+  });
+  return rows;
+}
+
+Fig5Data make_fig5(const topo::AsGraph& graph, const std::vector<topo::AsId>& censors,
+                   const tomo::LeakageReport& leakage) {
+  Fig5Data fig5;
+  for (const topo::AsId as : censors) {
+    ++fig5.censors_per_country[graph.country_of(as).code];
+  }
+  std::int64_t same_region_weight = 0;
+  std::int64_t regional_total = 0;
+  for (const auto& [pair, weight] : leakage.country_flow) {
+    const auto& censor_country = graph.country(pair.first);
+    const auto& victim_country = graph.country(pair.second);
+    Fig5Flow flow;
+    flow.censor_country = censor_country.code;
+    flow.victim_country = victim_country.code;
+    flow.weight = weight;
+    flow.same_region = censor_country.region == victim_country.region;
+    // The paper notes that leakage is mostly regional *except* for
+    // China's; measure the regional fraction excluding CN sources.
+    if (flow.censor_country != "CN") {
+      regional_total += weight;
+      same_region_weight += flow.same_region ? weight : 0;
+    }
+    fig5.flows.push_back(std::move(flow));
+  }
+  std::sort(fig5.flows.begin(), fig5.flows.end(), [](const Fig5Flow& a, const Fig5Flow& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    if (a.censor_country != b.censor_country) return a.censor_country < b.censor_country;
+    return a.victim_country < b.victim_country;
+  });
+  fig5.same_region_weight_fraction =
+      regional_total == 0 ? 0.0
+                          : static_cast<double>(same_region_weight) /
+                                static_cast<double>(regional_total);
+  return fig5;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& options) {
+  const auto& graph = scenario.graph();
+  iclab::Platform& platform = scenario.platform();
+
+  // --- run the platform through all sinks ---
+  iclab::DatasetSummary summary(graph);
+  tomo::ClauseBuilder clause_builder(scenario.ip2as());
+  PathChurnTracker churn_tracker(graph, platform.vantages(), platform.dest_ases(),
+                                 platform.config().num_days,
+                                 platform.config().epochs_per_day);
+  TruthTracker truth_tracker(scenario.registry(), platform);
+
+  iclab::SinkFanout fanout;
+  fanout.add(&summary);
+  fanout.add(&clause_builder);
+  fanout.add(&churn_tracker);
+  fanout.add(&truth_tracker);
+  platform.run(fanout);
+
+  ExperimentResult result;
+
+  // --- Table 1 ---
+  result.table1.measurements = summary.measurements();
+  result.table1.unique_urls = summary.distinct_urls();
+  result.table1.vantage_ases = summary.distinct_vantages();
+  result.table1.dest_ases = static_cast<std::int64_t>(platform.dest_ases().size());
+  result.table1.countries = summary.distinct_countries();
+  result.table1.unreachable = summary.unreachable();
+  for (const censor::Anomaly a : censor::kAllAnomalies) {
+    result.table1.anomaly_counts[static_cast<std::size_t>(a)] = summary.anomaly_count(a);
+  }
+  result.table1.clause_stats = clause_builder.stats();
+
+  // --- CNF construction + SAT analysis (all four granularities) ---
+  const tomo::PathPool& pool = clause_builder.pool();
+  const std::vector<tomo::PathClause>& clauses = clause_builder.clauses();
+  const std::vector<tomo::TomoCnf> cnfs = tomo::build_cnfs(pool, clauses);
+  const std::vector<tomo::CnfVerdict> verdicts = tomo::analyze_cnfs(cnfs, options.analysis);
+  result.total_cnfs = static_cast<std::int64_t>(verdicts.size());
+
+  result.fig1 = make_fig1(verdicts, options.fig1_granularities);
+  result.fig2 = make_fig2(verdicts);
+  result.fig3 = churn_tracker.compute();
+  result.fig4 = make_fig4(pool, clauses, options);
+
+  // --- censors, leakage ---
+  result.identified_censors = tomo::identified_censors(verdicts, options.min_support);
+  const std::set<topo::AsId> identified(result.identified_censors.begin(),
+                                        result.identified_censors.end());
+  std::set<topo::CountryId> countries;
+  std::map<topo::AsId, std::set<censor::Anomaly>> censor_anomalies;
+  for (const auto& v : verdicts) {
+    if (v.solution_class != 1) continue;
+    for (const topo::AsId as : v.censors) {
+      if (identified.count(as)) censor_anomalies[as].insert(v.key.anomaly);
+    }
+  }
+  for (const topo::AsId as : result.identified_censors) {
+    countries.insert(graph.as_info(as).country);
+  }
+  result.censor_countries = static_cast<std::int32_t>(countries.size());
+  result.leakage = tomo::analyze_leakage(graph, cnfs, verdicts, options.min_support);
+
+  result.table2 = make_table2(graph, result.identified_censors, censor_anomalies);
+  result.table3 = make_table3(graph, result.leakage);
+  result.fig5 = make_fig5(graph, result.identified_censors, result.leakage);
+
+  // --- ground-truth scoring ---
+  result.observable_censors = truth_tracker.observable();
+  result.score_all =
+      tomo::score_censors(result.identified_censors, scenario.registry().censor_ases());
+  result.score_observable =
+      tomo::score_censors(result.identified_censors, result.observable_censors);
+  return result;
+}
+
+}  // namespace ct::analysis

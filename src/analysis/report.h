@@ -1,0 +1,30 @@
+// Rendering of experiment results as the paper's tables and figures.
+//
+// Each render_* function returns the plain-text equivalent of one paper
+// table or figure, with the paper's reference values alongside the
+// measured ones where the paper reports concrete numbers.  Benchmarks
+// print these; EXPERIMENTS.md archives them.
+#pragma once
+
+#include <string>
+
+#include "analysis/experiment.h"
+
+namespace ct::analysis {
+
+std::string render_table1(const ExperimentResult& result);
+std::string render_fig1a(const ExperimentResult& result);
+std::string render_fig1b(const ExperimentResult& result);
+std::string render_fig2(const ExperimentResult& result);
+std::string render_fig3(const ExperimentResult& result);
+std::string render_fig4(const ExperimentResult& result);
+std::string render_table2(const ExperimentResult& result, std::size_t top_n = 5);
+std::string render_table3(const ExperimentResult& result, std::size_t top_n = 5);
+std::string render_fig5(const ExperimentResult& result, std::size_t top_n = 15);
+std::string render_headline(const ExperimentResult& result);
+std::string render_score(const ExperimentResult& result, const Scenario& scenario);
+
+/// Everything above, concatenated (used by the full-report example).
+std::string render_all(const ExperimentResult& result, const Scenario& scenario);
+
+}  // namespace ct::analysis

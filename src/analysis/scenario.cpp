@@ -1,0 +1,78 @@
+#include "analysis/scenario.h"
+
+namespace ct::analysis {
+
+ScenarioConfig default_scenario() {
+  ScenarioConfig cfg;
+  cfg.topology.num_ases = 650;
+  cfg.topology.num_tier1 = 9;
+  cfg.topology.num_transit = 120;
+  cfg.topology.num_countries = 40;
+  // Calibrated against Figure 3: ~25-30% of (pair, day) samples see a
+  // path change; about a third of pairs have no volatile link on their
+  // path and never change, bounding the year-level curve near the
+  // paper's 67%.
+  cfg.topology.volatile_link_fraction = 0.10;
+
+  cfg.censors.num_censors = 55;
+
+  cfg.platform.num_vantages = 60;
+  cfg.platform.num_urls = 95;
+  cfg.platform.num_dest_ases = 55;
+  cfg.platform.test_prob = 0.18;
+  cfg.platform.epochs_per_day = 3;
+  cfg.platform.num_days = util::kDaysPerYear;
+  return cfg;
+}
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig cfg;
+  cfg.topology.num_ases = 120;
+  cfg.topology.num_tier1 = 4;
+  cfg.topology.num_transit = 25;
+  cfg.topology.num_countries = 20;
+  cfg.topology.volatile_link_fraction = 0.10;
+
+  cfg.censors.num_censors = 8;
+
+  cfg.platform.num_vantages = 15;
+  cfg.platform.num_urls = 30;
+  cfg.platform.num_dest_ases = 15;
+  cfg.platform.test_prob = 0.3;
+  cfg.platform.epochs_per_day = 3;
+  cfg.platform.num_days = 8 * util::kDaysPerWeek;
+  return cfg;
+}
+
+namespace {
+
+/// Stub censors are drawn from the measurement endpoints (eyeball /
+/// hosting ASes censoring their own traffic) so ground truth is
+/// observable by the platform.
+censor::CensorConfig with_endpoint_pool(const ScenarioConfig& config,
+                                        const iclab::Endpoints& endpoints) {
+  censor::CensorConfig out = config.censors;
+  if (out.stub_censor_pool.empty()) {
+    // Destination (hosting) ASes: their censorship is observable and
+    // attributable because the destination's address appears in every
+    // traceroute.  Vantage ASes are excluded — their hops are private
+    // addresses, so their own censorship cannot be localized by the
+    // method (it surfaces as unsolvable CNFs instead).
+    out.stub_censor_pool = endpoints.dest_ases;
+  }
+  return out;
+}
+
+}  // namespace
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config),
+      graph_(topo::generate_topology(config.topology, config.seed)),
+      endpoints_(iclab::choose_endpoints(graph_, config.platform, config.seed)),
+      registry_(censor::generate_censors(graph_, with_endpoint_pool(config, endpoints_),
+                                         config.seed)),
+      plan_(net::allocate_prefixes(graph_, config.addressing)),
+      ip2as_(net::build_ip2as(plan_)),
+      platform_(graph_, registry_, plan_, config.platform, config.seed, endpoints_) {}
+
+}  // namespace ct::analysis

@@ -1,0 +1,31 @@
+#include "bgp/churn.h"
+
+namespace ct::bgp {
+
+ChurnEngine::ChurnEngine(const topo::AsGraph& graph, const ChurnConfig& config,
+                         std::uint64_t seed)
+    : graph_(graph),
+      config_(config),
+      rng_(util::mix64(seed, 0xC0FFEE)),
+      up_(static_cast<std::size_t>(graph.num_links()), true) {}
+
+std::int64_t ChurnEngine::advance() {
+  for (const auto& link : graph_.links()) {
+    const auto i = static_cast<std::size_t>(link.id);
+    if (up_[i]) {
+      const double p =
+          link.is_volatile ? config_.volatile_fail_prob : config_.stable_fail_prob;
+      if (rng_.bernoulli(p)) {
+        up_[i] = false;
+        ++links_down_;
+        ++total_failures_;
+      }
+    } else if (rng_.bernoulli(config_.repair_prob)) {
+      up_[i] = true;
+      --links_down_;
+    }
+  }
+  return ++epoch_;
+}
+
+}  // namespace ct::bgp

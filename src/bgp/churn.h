@@ -1,0 +1,63 @@
+// Network-level path churn: the link failure/repair process.
+//
+// The paper's key enabler is that BGP paths between a fixed (vantage,
+// destination) pair change over time, exposing different AS sets to the
+// same measurement.  We model the root cause directly: links go down and
+// come back, and route recomputation does the rest.  Links come in two
+// stability classes (assigned by the topology generator); the mix of a
+// mostly-quiet stable class and a lively volatile class reproduces the
+// shape of the paper's Figure 3 (fast initial churn, slow saturation,
+// and a tail of pairs whose paths never change).
+//
+// The process advances in *epochs* (sub-day steps); the measurement
+// platform runs several epochs per day so that intraday path changes —
+// which the paper observes for ~25% of pairs — exist in the simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/as_graph.h"
+#include "util/rng.h"
+
+namespace ct::bgp {
+
+struct ChurnConfig {
+  /// Per-epoch failure probability of an up link, by stability class.
+  /// Volatile links flap near-daily (matching the paper's observation
+  /// that the pairs that change within a day are largely the same pairs
+  /// that change within a week); stable links fail rarely, supplying the
+  /// slow year-scale growth of Figure 3.
+  double volatile_fail_prob = 0.25;
+  double stable_fail_prob = 0.00016;
+  /// Per-epoch repair probability of a down link.
+  double repair_prob = 0.6;
+};
+
+class ChurnEngine {
+ public:
+  ChurnEngine(const topo::AsGraph& graph, const ChurnConfig& config, std::uint64_t seed);
+
+  /// Advances the process by one epoch and returns the epoch index now
+  /// in effect.  Epoch 0 (pristine, all links up) is the state before
+  /// the first call.
+  std::int64_t advance();
+
+  std::int64_t epoch() const { return epoch_; }
+  const std::vector<bool>& link_up() const { return up_; }
+  std::int32_t links_down() const { return links_down_; }
+
+  /// Total up->down transitions so far (a churn intensity metric).
+  std::int64_t total_failures() const { return total_failures_; }
+
+ private:
+  const topo::AsGraph& graph_;
+  ChurnConfig config_;
+  util::Rng rng_;
+  std::vector<bool> up_;
+  std::int64_t epoch_ = 0;
+  std::int32_t links_down_ = 0;
+  std::int64_t total_failures_ = 0;
+};
+
+}  // namespace ct::bgp

@@ -1,0 +1,190 @@
+#include "bgp/routing.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace ct::bgp {
+
+using topo::AsId;
+using topo::NeighborKind;
+
+RouteTable::RouteTable(AsId dest, std::int32_t num_ases)
+    : dest_(dest),
+      kind_(static_cast<std::size_t>(num_ases), RouteKind::kNone),
+      cust_dist_(static_cast<std::size_t>(num_ases), kInf),
+      peer_dist_(static_cast<std::size_t>(num_ases), kInf),
+      prov_dist_(static_cast<std::size_t>(num_ases), kInf),
+      cust_next_(static_cast<std::size_t>(num_ases), topo::kInvalidAs),
+      peer_next_(static_cast<std::size_t>(num_ases), topo::kInvalidAs),
+      prov_next_(static_cast<std::size_t>(num_ases), topo::kInvalidAs) {}
+
+std::int32_t RouteTable::path_length(AsId src) const {
+  const auto s = static_cast<std::size_t>(src);
+  switch (kind_[s]) {
+    case RouteKind::kOrigin: return 0;
+    case RouteKind::kCustomer: return cust_dist_[s];
+    case RouteKind::kPeer: return peer_dist_[s];
+    case RouteKind::kProvider: return prov_dist_[s];
+    case RouteKind::kNone: return kInf;
+  }
+  return kInf;
+}
+
+std::vector<AsId> RouteTable::path(AsId src) const {
+  std::vector<AsId> out;
+  if (!reachable(src)) return out;
+  AsId x = src;
+  RouteKind cls = kind_[static_cast<std::size_t>(src)];
+  const auto limit = kind_.size() + 2;
+  while (out.size() <= limit) {
+    out.push_back(x);
+    if (x == dest_) return out;
+    const auto xs = static_cast<std::size_t>(x);
+    switch (cls) {
+      case RouteKind::kCustomer:
+        // The customer exported its own customer route to us.
+        x = cust_next_[xs];
+        cls = x == dest_ ? RouteKind::kOrigin : RouteKind::kCustomer;
+        break;
+      case RouteKind::kPeer:
+        // The peer exported its customer route.
+        x = peer_next_[xs];
+        cls = x == dest_ ? RouteKind::kOrigin : RouteKind::kCustomer;
+        break;
+      case RouteKind::kProvider: {
+        // The provider exported its best (selected) route.
+        x = prov_next_[xs];
+        const auto ps = static_cast<std::size_t>(x);
+        if (x == dest_) {
+          cls = RouteKind::kOrigin;
+        } else if (cust_dist_[ps] < kInf) {
+          cls = RouteKind::kCustomer;
+        } else if (peer_dist_[ps] < kInf) {
+          cls = RouteKind::kPeer;
+        } else {
+          cls = RouteKind::kProvider;
+        }
+        break;
+      }
+      case RouteKind::kOrigin:
+      case RouteKind::kNone:
+        throw std::logic_error("RouteTable::path: inconsistent route state");
+    }
+  }
+  throw std::logic_error("RouteTable::path: path reconstruction did not terminate");
+}
+
+RouteComputer::RouteComputer(const topo::AsGraph& graph) : graph_(graph) {}
+
+RouteTable RouteComputer::compute(topo::AsId dest) const {
+  const std::vector<bool> all_up(static_cast<std::size_t>(graph_.num_links()), true);
+  return compute(dest, all_up);
+}
+
+RouteTable RouteComputer::compute(topo::AsId dest, const std::vector<bool>& link_up) const {
+  if (dest < 0 || dest >= graph_.num_ases()) {
+    throw std::invalid_argument("RouteComputer::compute: unknown destination");
+  }
+  if (link_up.size() != static_cast<std::size_t>(graph_.num_links())) {
+    throw std::invalid_argument("RouteComputer::compute: link_up size mismatch");
+  }
+  const auto n = static_cast<std::size_t>(graph_.num_ases());
+  RouteTable table(dest, graph_.num_ases());
+
+  // --- Phase 1: customer routes, BFS up provider edges from dest. ---
+  table.cust_dist_[static_cast<std::size_t>(dest)] = 0;
+  std::vector<AsId> frontier{dest};
+  std::int32_t level = 0;
+  while (!frontier.empty()) {
+    std::vector<AsId> next_frontier;
+    std::sort(frontier.begin(), frontier.end());
+    for (const AsId x : frontier) {
+      for (const auto& nb : graph_.neighbors(x)) {
+        if (nb.kind != NeighborKind::kProvider) continue;  // propagate up only
+        if (!link_up[static_cast<std::size_t>(nb.link)]) continue;
+        const auto p = static_cast<std::size_t>(nb.as);
+        if (table.cust_dist_[p] > level + 1) {
+          table.cust_dist_[p] = level + 1;
+          table.cust_next_[p] = x;
+          next_frontier.push_back(nb.as);
+        } else if (table.cust_dist_[p] == level + 1 && x < table.cust_next_[p]) {
+          table.cust_next_[p] = x;  // deterministic tie-break: lowest next hop
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+    ++level;
+  }
+
+  // --- Phase 2: peer routes (one peer hop onto a customer route). ---
+  for (std::size_t x = 0; x < n; ++x) {
+    if (static_cast<AsId>(x) == dest) continue;
+    for (const auto& nb : graph_.neighbors(static_cast<AsId>(x))) {
+      if (nb.kind != NeighborKind::kPeer) continue;
+      if (!link_up[static_cast<std::size_t>(nb.link)]) continue;
+      const auto y = static_cast<std::size_t>(nb.as);
+      if (table.cust_dist_[y] >= RouteTable::kInf) continue;
+      const std::int32_t cand = table.cust_dist_[y] + 1;
+      if (cand < table.peer_dist_[x] ||
+          (cand == table.peer_dist_[x] && nb.as < table.peer_next_[x])) {
+        table.peer_dist_[x] = cand;
+        table.peer_next_[x] = nb.as;
+      }
+    }
+  }
+
+  // --- Phase 3: provider routes, Dijkstra down customer edges. ---
+  // advertised(x): length of the route x exports to its customers = the
+  // length of x's *selected* route (customer > peer > provider).
+  auto advertised = [&table](std::size_t x) {
+    if (table.cust_dist_[x] < RouteTable::kInf) return table.cust_dist_[x];
+    if (table.peer_dist_[x] < RouteTable::kInf) return table.peer_dist_[x];
+    return table.prov_dist_[x];
+  };
+
+  using Entry = std::pair<std::int32_t, AsId>;  // (advertised length, AS)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::int32_t adv = advertised(x);
+    if (adv < RouteTable::kInf) pq.emplace(adv, static_cast<AsId>(x));
+  }
+  while (!pq.empty()) {
+    const auto [d, x] = pq.top();
+    pq.pop();
+    if (d != advertised(static_cast<std::size_t>(x))) continue;  // stale entry
+    for (const auto& nb : graph_.neighbors(x)) {
+      if (nb.kind != NeighborKind::kCustomer) continue;  // export down only
+      if (!link_up[static_cast<std::size_t>(nb.link)]) continue;
+      const auto c = static_cast<std::size_t>(nb.as);
+      if (static_cast<AsId>(c) == dest) continue;
+      const std::int32_t cand = d + 1;
+      if (cand < table.prov_dist_[c] ||
+          (cand == table.prov_dist_[c] && x < table.prov_next_[c])) {
+        const std::int32_t before = advertised(c);
+        table.prov_dist_[c] = cand;
+        table.prov_next_[c] = x;
+        // Only re-advertise if c's own selection (and thus export) improved.
+        if (advertised(c) < before) pq.emplace(advertised(c), static_cast<AsId>(c));
+      }
+    }
+  }
+
+  // --- Final selection. ---
+  for (std::size_t x = 0; x < n; ++x) {
+    if (static_cast<AsId>(x) == dest) {
+      table.kind_[x] = RouteKind::kOrigin;
+    } else if (table.cust_dist_[x] < RouteTable::kInf) {
+      table.kind_[x] = RouteKind::kCustomer;
+    } else if (table.peer_dist_[x] < RouteTable::kInf) {
+      table.kind_[x] = RouteKind::kPeer;
+    } else if (table.prov_dist_[x] < RouteTable::kInf) {
+      table.kind_[x] = RouteKind::kProvider;
+    } else {
+      table.kind_[x] = RouteKind::kNone;
+    }
+  }
+  return table;
+}
+
+}  // namespace ct::bgp

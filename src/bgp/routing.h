@@ -1,0 +1,76 @@
+// Gao-Rexford BGP route computation.
+//
+// For a destination AS d, every other AS selects its best route under
+// the standard economic policy model:
+//   * route preference: customer-learned > peer-learned > provider-learned
+//   * within a class: shortest AS-path length
+//   * final tie-break: lowest next-hop AS id (deterministic)
+// Export rules: customer routes are exported to everyone; peer- and
+// provider-learned routes are exported only to customers.  All resulting
+// paths are valley-free and loop-free.
+//
+// Computation is per-destination over the subset of links that are
+// currently up (the churn engine owns link state), in three phases:
+// customer routes via BFS up provider edges, peer routes in one step,
+// provider routes via a Dijkstra sweep down customer edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/as_graph.h"
+
+namespace ct::bgp {
+
+/// How an AS learned its best route toward the destination.
+enum class RouteKind : std::uint8_t {
+  kNone = 0,   // unreachable
+  kOrigin,     // this AS is the destination
+  kCustomer,   // learned from a customer
+  kPeer,       // learned from a peer
+  kProvider,   // learned from a provider
+};
+
+/// Routing state toward a single destination AS.
+class RouteTable {
+ public:
+  RouteTable(topo::AsId dest, std::int32_t num_ases);
+
+  topo::AsId dest() const { return dest_; }
+  RouteKind kind(topo::AsId src) const { return kind_[static_cast<std::size_t>(src)]; }
+  bool reachable(topo::AsId src) const { return kind(src) != RouteKind::kNone; }
+  /// AS-path length (number of AS hops, 0 for the destination itself).
+  std::int32_t path_length(topo::AsId src) const;
+
+  /// Full AS path src..dest (inclusive).  Empty if unreachable.
+  std::vector<topo::AsId> path(topo::AsId src) const;
+
+ private:
+  friend class RouteComputer;
+
+  static constexpr std::int32_t kInf = 1 << 28;
+
+  topo::AsId dest_;
+  std::vector<RouteKind> kind_;
+  // Per-class route state; kInf distance when the class has no route.
+  std::vector<std::int32_t> cust_dist_, peer_dist_, prov_dist_;
+  std::vector<topo::AsId> cust_next_, peer_next_, prov_next_;
+};
+
+class RouteComputer {
+ public:
+  explicit RouteComputer(const topo::AsGraph& graph);
+
+  /// Routes toward `dest` considering only links with link_up[link.id].
+  /// link_up must cover all links; pass all-true for the failure-free
+  /// topology.
+  RouteTable compute(topo::AsId dest, const std::vector<bool>& link_up) const;
+
+  /// Convenience: routes over the full topology.
+  RouteTable compute(topo::AsId dest) const;
+
+ private:
+  const topo::AsGraph& graph_;
+};
+
+}  // namespace ct::bgp

@@ -1,0 +1,328 @@
+#include "iclab/platform.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+namespace ct::iclab {
+
+using censor::Anomaly;
+using censor::kAllAnomalies;
+using censor::kNumAnomalies;
+using topo::AsId;
+
+Platform::Platform(const topo::AsGraph& graph, const censor::CensorRegistry& registry,
+                   const net::AddressPlan& plan, const PlatformConfig& config,
+                   std::uint64_t seed)
+    : Platform(graph, registry, plan, config, seed,
+               choose_endpoints(graph, config, seed)) {}
+
+Platform::Platform(const topo::AsGraph& graph, const censor::CensorRegistry& registry,
+                   const net::AddressPlan& plan, const PlatformConfig& config,
+                   std::uint64_t seed, Endpoints endpoints)
+    : graph_(graph),
+      registry_(registry),
+      plan_(plan),
+      config_(config),
+      seed_(seed),
+      vantages_(std::move(endpoints.vantages)),
+      dest_ases_(std::move(endpoints.dest_ases)),
+      urls_(std::move(endpoints.urls)) {
+  if (config.num_days < 1) throw std::invalid_argument("PlatformConfig: num_days < 1");
+  if (config.epochs_per_day < 1) {
+    throw std::invalid_argument("PlatformConfig: epochs_per_day < 1");
+  }
+  if (config.vp_nodes_per_as < 1) {
+    throw std::invalid_argument("PlatformConfig: vp_nodes_per_as < 1");
+  }
+  if (vantages_.empty() || dest_ases_.empty() || urls_.empty()) {
+    throw std::invalid_argument("Platform: empty endpoints");
+  }
+}
+
+Endpoints choose_endpoints(const topo::AsGraph& graph, const PlatformConfig& config,
+                           std::uint64_t seed) {
+  if (config.num_vantages < 1 || config.num_urls < 1 || config.num_dest_ases < 1) {
+    throw std::invalid_argument("PlatformConfig: counts must be positive");
+  }
+  util::Rng rng(util::mix64(seed, 0x1C1AB));
+  Endpoints out;
+  // Vantage points live in stub ASes (ICLab's VPN-provider vantage
+  // points are hosted in content/access networks).  Multihomed stubs are
+  // preferred: commercial VPN/hosting providers are well connected, and
+  // their exit diversity is what lets sibling nodes observe different
+  // paths.
+  std::vector<AsId> stubs = graph.ases_with_tier(topo::AsTier::kStub);
+  if (stubs.empty()) stubs = graph.ases_with_tier(topo::AsTier::kTransit);
+  if (stubs.empty()) throw std::invalid_argument("Platform: topology has no candidate ASes");
+
+  std::vector<AsId> multihomed;
+  std::vector<AsId> singlehomed;
+  for (const AsId as : stubs) {
+    std::int32_t providers = 0;
+    for (const auto& nb : graph.neighbors(as)) {
+      providers += nb.kind == topo::NeighborKind::kProvider ? 1 : 0;
+    }
+    (providers >= 2 ? multihomed : singlehomed).push_back(as);
+  }
+  rng.shuffle(multihomed);
+  rng.shuffle(singlehomed);
+  std::vector<AsId> pool = multihomed;
+  pool.insert(pool.end(), singlehomed.begin(), singlehomed.end());
+
+  // Country bias: ICLab concentrates vantage points in regions where
+  // censorship is expected.
+  std::vector<std::pair<topo::CountryId, double>> weighted;
+  double total_weight = 0.0;
+  for (const auto& [code, weight] : config.vantage_country_weights) {
+    for (const auto& c : graph.countries()) {
+      if (c.code == code) {
+        weighted.emplace_back(c.id, weight);
+        total_weight += weight;
+        break;
+      }
+    }
+  }
+
+  std::vector<bool> taken(static_cast<std::size_t>(graph.num_ases()), false);
+  const auto num_vp = std::min<std::size_t>(static_cast<std::size_t>(config.num_vantages),
+                                            pool.size());
+  while (out.vantages.size() < num_vp) {
+    AsId chosen = topo::kInvalidAs;
+    if (!weighted.empty() && rng.bernoulli(config.vantage_weighted_prob)) {
+      double u = rng.uniform() * total_weight;
+      topo::CountryId country = weighted.back().first;
+      for (const auto& [id, w] : weighted) {
+        u -= w;
+        if (u <= 0.0) {
+          country = id;
+          break;
+        }
+      }
+      // Pool order already prefers multihomed ASes.
+      for (const AsId as : pool) {
+        if (!taken[static_cast<std::size_t>(as)] && graph.as_info(as).country == country) {
+          chosen = as;
+          break;
+        }
+      }
+    }
+    if (chosen == topo::kInvalidAs) {
+      for (const AsId as : pool) {
+        if (!taken[static_cast<std::size_t>(as)]) {
+          chosen = as;
+          break;
+        }
+      }
+    }
+    if (chosen == topo::kInvalidAs) break;
+    taken[static_cast<std::size_t>(chosen)] = true;
+    out.vantages.push_back(chosen);
+  }
+  std::sort(out.vantages.begin(), out.vantages.end());
+
+  // Destination ASes prefer content stubs (web hosting).
+  std::vector<AsId> content;
+  for (const AsId as : stubs) {
+    if (graph.as_info(as).cls == topo::AsClass::kContent &&
+        std::find(out.vantages.begin(), out.vantages.end(), as) == out.vantages.end()) {
+      content.push_back(as);
+    }
+  }
+  if (content.empty()) content = stubs;
+  rng.shuffle(content);
+  const auto num_dest = std::min<std::size_t>(static_cast<std::size_t>(config.num_dest_ases),
+                                              content.size());
+  out.dest_ases.assign(content.begin(), content.begin() + static_cast<std::ptrdiff_t>(num_dest));
+  std::sort(out.dest_ases.begin(), out.dest_ases.end());
+
+  // URLs: category skewed toward the paper's most-censored buckets
+  // (shopping, classifieds, ads) plus a tail of everything else.
+  util::ZipfSampler category_sampler(censor::kNumCategories, 0.7);
+  for (std::int32_t u = 0; u < config.num_urls; ++u) {
+    Url url;
+    url.id = u;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "www.site%03d.example", u);
+    url.name = buf;
+    url.category = static_cast<censor::UrlCategory>(category_sampler.sample(rng));
+    url.dest_as = out.dest_ases[static_cast<std::size_t>(u) % out.dest_ases.size()];
+    out.urls.push_back(std::move(url));
+  }
+  return out;
+}
+
+void Platform::run(MeasurementSink& sink) {
+  bgp::ChurnEngine churn(graph_, config_.churn, seed_);
+  const bgp::RouteComputer computer(graph_);
+  const net::TracerouteEngine tracer(plan_, config_.traceroute);
+
+  // URLs grouped by destination AS so each day computes one route table
+  // per destination.
+  std::vector<std::vector<std::int32_t>> urls_by_dest(dest_ases_.size());
+  for (const auto& url : urls_) {
+    const auto it = std::lower_bound(dest_ases_.begin(), dest_ases_.end(), url.dest_as);
+    urls_by_dest[static_cast<std::size_t>(it - dest_ases_.begin())].push_back(url.id);
+  }
+
+  const auto nodes = static_cast<std::size_t>(config_.vp_nodes_per_as);
+
+  // Previous-epoch paths per (vantage node, dest), for route flutter.
+  std::vector<std::vector<std::vector<AsId>>> prev_paths(
+      vantages_.size() * nodes, std::vector<std::vector<AsId>>(dest_ases_.size()));
+
+  // Deterministic session schedule: is (vantage AS, url) tested on
+  // `day`?  A scheduled session runs from *every* node of the AS in
+  // every epoch of the day (ICLab batches its URL list per vantage), so
+  // the draw depends on the AS, not the node or epoch.
+  auto session_scheduled = [this](util::Day day, std::size_t vi, std::int32_t url_id) {
+    const std::uint64_t key =
+        util::mix64(util::mix64(seed_ ^ 0x5E55u, static_cast<std::uint64_t>(day)),
+                    (static_cast<std::uint64_t>(vi) << 32) |
+                        static_cast<std::uint32_t>(url_id));
+    util::Rng rng(key);
+    return rng.bernoulli(config_.test_prob);
+  };
+
+  // Detector *misses* (false negatives) are correlated within a
+  // session: a detector that fails to recognize interference for a URL
+  // from a node tends to fail for the whole day (vantage- or
+  // configuration-related).  False positives stay per-measurement —
+  // organic RSTs, resolver races and the like are transient
+  // per-connection events (and are exactly the "noise in the ICLab
+  // measurements" the paper blames for unsolvable CNFs).
+  auto session_noise = [this](util::Day day, std::size_t node_index, std::int32_t url_id,
+                              Anomaly a, double prob) {
+    const std::uint64_t key = util::mix64(
+        util::mix64(seed_ ^ 0x4015Eu, static_cast<std::uint64_t>(day)),
+        (static_cast<std::uint64_t>(node_index) << 24) ^
+            (static_cast<std::uint64_t>(url_id) << 4) ^ static_cast<std::uint64_t>(a));
+    util::Rng rng(key);
+    return rng.bernoulli(prob);
+  };
+
+  // Path of a vantage node: node 0 follows the AS's best BGP route;
+  // further nodes exit through the AS's other providers (different PoP,
+  // different first hop) when the AS is multihomed.
+  auto node_path = [this](const bgp::RouteTable& table, AsId vp, std::size_t node,
+                          const std::vector<bool>& link_up) -> std::vector<AsId> {
+    if (!table.reachable(vp)) return {};
+    if (node == 0) return table.path(vp);
+    std::vector<AsId> providers;
+    for (const auto& nb : graph_.neighbors(vp)) {
+      if (nb.kind == topo::NeighborKind::kProvider &&
+          link_up[static_cast<std::size_t>(nb.link)]) {
+        providers.push_back(nb.as);
+      }
+    }
+    std::sort(providers.begin(), providers.end());
+    if (providers.size() < 2) return table.path(vp);  // single-homed: same exit
+    const AsId exit = providers[node % providers.size()];
+    if (!table.reachable(exit)) return table.path(vp);
+    std::vector<AsId> path{vp};
+    const std::vector<AsId> rest = table.path(exit);
+    path.insert(path.end(), rest.begin(), rest.end());
+    return path;
+  };
+
+  for (util::Day day = 0; day < config_.num_days; ++day) {
+    sink.on_day_start(day);
+    for (std::int32_t epoch = 0; epoch < config_.epochs_per_day; ++epoch) {
+      if (day > 0 || epoch > 0) churn.advance();
+      util::Rng epoch_rng(util::mix64(
+          seed_, 0xDA7 + static_cast<std::uint64_t>(day) *
+                             static_cast<std::uint64_t>(config_.epochs_per_day) +
+                     static_cast<std::uint64_t>(epoch)));
+
+      for (std::size_t di = 0; di < dest_ases_.size(); ++di) {
+        const AsId dest = dest_ases_[di];
+        const bgp::RouteTable table = computer.compute(dest, churn.link_up());
+
+        for (std::size_t vi = 0; vi < vantages_.size(); ++vi) {
+          const AsId vp = vantages_[vi];
+          // AS-level churn tracking uses the AS's default best path.
+          {
+            const std::vector<AsId> default_path =
+                table.reachable(vp) ? table.path(vp) : std::vector<AsId>{};
+            sink.on_path(day, epoch, vp, dest, default_path);
+          }
+
+          for (std::size_t node = 0; node < nodes; ++node) {
+            const std::size_t node_index = vi * nodes + node;
+            std::vector<AsId> path = node_path(table, vp, node, churn.link_up());
+
+            for (const std::int32_t url_id : urls_by_dest[di]) {
+              if (!session_scheduled(day, vi, url_id)) continue;
+              const Url& url = urls_[static_cast<std::size_t>(url_id)];
+
+              Measurement m;
+              m.vantage = vp;
+              m.vp_node = static_cast<std::int32_t>(node);
+              m.url_id = url_id;
+              m.day = day;
+              m.epoch_in_day = epoch;
+              m.truth_path = path;
+              m.unreachable = path.empty();
+
+              if (m.unreachable) {
+                for (auto& t : m.traceroutes) t.error = true;
+              } else {
+                m.traceroutes = tracer.trace_triple(path, prev_paths[node_index][di],
+                                                    config_.flutter_prob, epoch_rng);
+                for (const Anomaly a : kAllAnomalies) {
+                  const auto ai = static_cast<std::size_t>(a);
+                  const bool censored =
+                      registry_.path_censored(path, url.category, a, day);
+                  m.truth_censored[ai] = censored;
+                  m.detected[ai] =
+                      censored
+                          ? !session_noise(day, node_index, url_id, a, config_.noise.fn(a))
+                          : epoch_rng.bernoulli(config_.noise.fp(a));
+                }
+              }
+              sink.on_measurement(m);
+            }
+            prev_paths[node_index][di] = std::move(path);
+          }
+        }
+      }
+    }
+  }
+}
+
+void DatasetSummary::on_measurement(const Measurement& m) {
+  ++measurements_;
+  if (m.unreachable) ++unreachable_;
+  for (const Anomaly a : kAllAnomalies) {
+    if (m.detected[static_cast<std::size_t>(a)]) {
+      ++anomaly_counts_[static_cast<std::size_t>(a)];
+    }
+  }
+  seen_vantages_.push_back(m.vantage);
+  seen_urls_.push_back(m.url_id);
+}
+
+double DatasetSummary::anomaly_fraction(Anomaly a) const {
+  return measurements_ == 0
+             ? 0.0
+             : static_cast<double>(anomaly_count(a)) / static_cast<double>(measurements_);
+}
+
+std::int64_t DatasetSummary::distinct_vantages() const {
+  std::set<topo::AsId> s(seen_vantages_.begin(), seen_vantages_.end());
+  return static_cast<std::int64_t>(s.size());
+}
+
+std::int64_t DatasetSummary::distinct_urls() const {
+  std::set<std::int32_t> s(seen_urls_.begin(), seen_urls_.end());
+  return static_cast<std::int64_t>(s.size());
+}
+
+std::int64_t DatasetSummary::distinct_countries() const {
+  std::set<topo::CountryId> s;
+  for (const topo::AsId vp : seen_vantages_) s.insert(graph_.as_info(vp).country);
+  return static_cast<std::int64_t>(s.size());
+}
+
+}  // namespace ct::iclab

@@ -1,0 +1,200 @@
+// ICLab-style censorship measurement platform (simulator).
+//
+// Substitutes for the proprietary ICLab deployment the paper consumes.
+// The platform owns a schedule of (vantage AS, URL) tests over a
+// simulated year.  For every test it:
+//   * resolves the current BGP path from the vantage to the URL's host
+//     AS (per-day route tables over the churn engine's link state),
+//   * asks the ground-truth censor registry whether each of the five
+//     anomaly types would fire on that path, applies detector noise,
+//   * renders three raw IP traceroutes (with timeouts, unmapped border
+//     addresses, occasional outright errors, and rare mid-measurement
+//     route flutter),
+// and emits a Measurement record with exactly the fields the paper
+// lists in §3.1.  Consumers implement MeasurementSink; the clause
+// builder, the Table-1 summary, and the churn analysis all attach as
+// sinks so the (potentially large) dataset is streamed, not stored.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/churn.h"
+#include "bgp/routing.h"
+#include "censor/policy.h"
+#include "net/traceroute.h"
+#include "topo/as_graph.h"
+#include "util/rng.h"
+#include "util/timewin.h"
+
+namespace ct::iclab {
+
+/// A test target: a URL hosted in some destination AS.
+struct Url {
+  std::int32_t id = 0;
+  std::string name;  // e.g. "www.site042.example"
+  censor::UrlCategory category = censor::UrlCategory::kNews;
+  topo::AsId dest_as = topo::kInvalidAs;
+};
+
+/// One measurement record (paper §3.1: vantage AS, URL, anomaly
+/// verdicts, three traceroutes, timestamp).
+struct Measurement {
+  topo::AsId vantage = topo::kInvalidAs;
+  std::int32_t vp_node = 0;       // measurement node within the vantage AS
+  std::int32_t url_id = 0;
+  util::Day day = 0;
+  std::int32_t epoch_in_day = 0;  // sub-day measurement slot
+  /// Detector verdict per anomaly type (index = Anomaly enum value).
+  std::array<bool, censor::kNumAnomalies> detected{};
+  std::array<net::Traceroute, 3> traceroutes;
+  /// True when no route existed at test time (all traceroutes error).
+  bool unreachable = false;
+  /// Ground truth, carried for validation only — the inference pipeline
+  /// must never read these.
+  std::vector<topo::AsId> truth_path;
+  std::array<bool, censor::kNumAnomalies> truth_censored{};
+};
+
+/// Streaming consumer of platform output.
+class MeasurementSink {
+ public:
+  virtual ~MeasurementSink() = default;
+  virtual void on_measurement(const Measurement& m) = 0;
+  /// Called once per (day, epoch, vantage, destination AS) with the
+  /// current BGP path (empty if unreachable), regardless of whether a
+  /// measurement was scheduled — the churn analysis (Figure 3) consumes
+  /// this.
+  virtual void on_path(util::Day /*day*/, std::int32_t /*epoch*/, topo::AsId /*vantage*/,
+                       topo::AsId /*dest*/, const std::vector<topo::AsId>& /*path*/) {}
+  /// Called at the start of each simulated day.
+  virtual void on_day_start(util::Day /*day*/) {}
+};
+
+/// Fans one measurement stream out to several sinks.
+class SinkFanout : public MeasurementSink {
+ public:
+  void add(MeasurementSink* sink) { sinks_.push_back(sink); }
+  void on_measurement(const Measurement& m) override {
+    for (auto* s : sinks_) s->on_measurement(m);
+  }
+  void on_path(util::Day day, std::int32_t epoch, topo::AsId vantage, topo::AsId dest,
+               const std::vector<topo::AsId>& path) override {
+    for (auto* s : sinks_) s->on_path(day, epoch, vantage, dest, path);
+  }
+  void on_day_start(util::Day day) override {
+    for (auto* s : sinks_) s->on_day_start(day);
+  }
+
+ private:
+  std::vector<MeasurementSink*> sinks_;
+};
+
+struct PlatformConfig {
+  /// Number of vantage *ASes*; each hosts `vp_nodes_per_as` measurement
+  /// nodes.  Nodes in a multihomed AS exit through different providers
+  /// (different PoPs), mirroring ICLab's ~1000 VPs in ~539 ASes — this
+  /// intra-AS path diversity is a key enabler of unique SAT solutions.
+  std::int32_t num_vantages = 50;
+  std::int32_t vp_nodes_per_as = 2;
+  std::int32_t num_urls = 120;
+  std::int32_t num_dest_ases = 60;
+  /// Vantage placement is biased toward these countries (ICLab
+  /// deliberately measures from censorship-heavy regions).  Defaults
+  /// mirror censor::CensorConfig::country_weights — localization only
+  /// works where the platform has nearby vantage points.
+  std::vector<std::pair<std::string, double>> vantage_country_weights =
+      censor::default_censorship_country_weights();
+  /// Probability each vantage slot is drawn from the weighted list.
+  double vantage_weighted_prob = 0.75;
+  /// Probability a given (vantage, URL) pair runs a measurement session
+  /// on a given day.  A selected session tests the URL once per routing
+  /// epoch of that day (ICLab "repetitively performs" measurements), so
+  /// intraday path churn is visible within a single day's CNF.
+  double test_prob = 0.12;
+  /// Sub-day routing epochs; intraday path churn needs > 1.
+  std::int32_t epochs_per_day = 3;
+  /// Probability one of a measurement's three traceroutes races a route
+  /// change and follows the previous day's path.
+  double flutter_prob = 0.01;
+  util::Day num_days = util::kDaysPerYear;
+  net::TracerouteConfig traceroute;
+  censor::DetectorNoise noise;
+  bgp::ChurnConfig churn;
+};
+
+/// The measurement endpoints of a deployment: vantage ASes, destination
+/// ASes, and the URL list.  Factored out of Platform so ground-truth
+/// censor generation can target the same ASes (eyeball/hosting networks
+/// censor their own traffic).
+struct Endpoints {
+  std::vector<topo::AsId> vantages;
+  std::vector<topo::AsId> dest_ases;
+  std::vector<Url> urls;
+};
+
+/// Deterministically selects endpoints for a deployment.
+Endpoints choose_endpoints(const topo::AsGraph& graph, const PlatformConfig& config,
+                           std::uint64_t seed);
+
+class Platform {
+ public:
+  /// The graph, registry, and plan must outlive the platform.  Selects
+  /// endpoints via choose_endpoints(graph, config, seed).
+  Platform(const topo::AsGraph& graph, const censor::CensorRegistry& registry,
+           const net::AddressPlan& plan, const PlatformConfig& config, std::uint64_t seed);
+  /// As above with pre-selected endpoints.
+  Platform(const topo::AsGraph& graph, const censor::CensorRegistry& registry,
+           const net::AddressPlan& plan, const PlatformConfig& config, std::uint64_t seed,
+           Endpoints endpoints);
+
+  /// Runs the full schedule, streaming into `sink`.
+  void run(MeasurementSink& sink);
+
+  const std::vector<topo::AsId>& vantages() const { return vantages_; }
+  const std::vector<Url>& urls() const { return urls_; }
+  const std::vector<topo::AsId>& dest_ases() const { return dest_ases_; }
+  const PlatformConfig& config() const { return config_; }
+
+ private:
+  const topo::AsGraph& graph_;
+  const censor::CensorRegistry& registry_;
+  const net::AddressPlan& plan_;
+  PlatformConfig config_;
+  std::uint64_t seed_;
+
+  std::vector<topo::AsId> vantages_;
+  std::vector<topo::AsId> dest_ases_;
+  std::vector<Url> urls_;
+};
+
+/// Table-1 accumulator: dataset characteristics.
+class DatasetSummary : public MeasurementSink {
+ public:
+  explicit DatasetSummary(const topo::AsGraph& graph) : graph_(graph) {}
+
+  void on_measurement(const Measurement& m) override;
+
+  std::int64_t measurements() const { return measurements_; }
+  std::int64_t anomaly_count(censor::Anomaly a) const {
+    return anomaly_counts_[static_cast<std::size_t>(a)];
+  }
+  double anomaly_fraction(censor::Anomaly a) const;
+  std::int64_t unreachable() const { return unreachable_; }
+  /// Distinct vantage ASes / URLs / countries seen in the stream.
+  std::int64_t distinct_vantages() const;
+  std::int64_t distinct_urls() const;
+  std::int64_t distinct_countries() const;
+
+ private:
+  const topo::AsGraph& graph_;
+  std::int64_t measurements_ = 0;
+  std::int64_t unreachable_ = 0;
+  std::array<std::int64_t, censor::kNumAnomalies> anomaly_counts_{};
+  std::vector<topo::AsId> seen_vantages_;
+  std::vector<std::int32_t> seen_urls_;
+};
+
+}  // namespace ct::iclab

@@ -1,0 +1,29 @@
+#include "net/ip.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ct::net {
+
+std::string to_string(Ip4 ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+std::string to_string(const Prefix& p) {
+  return to_string(p.address) + "/" + std::to_string(p.length);
+}
+
+Ip4 parse_ip4(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char extra = 0;
+  const int n = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("parse_ip4: malformed address: " + text);
+  }
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+}  // namespace ct::net

@@ -1,0 +1,45 @@
+// IPv4 address and prefix primitives.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ct::net {
+
+using Ip4 = std::uint32_t;
+
+/// An IPv4 prefix (address + mask length).
+struct Prefix {
+  Ip4 address = 0;
+  std::uint8_t length = 0;  // 0..32
+
+  /// Canonicalized constructor: host bits are masked off.
+  static Prefix make(Ip4 address, std::uint8_t length) {
+    if (length > 32) throw std::invalid_argument("Prefix: length > 32");
+    Prefix p;
+    p.length = length;
+    p.address = length == 0 ? 0 : (address & ~((1ULL << (32 - length)) - 1));
+    return p;
+  }
+
+  bool contains(Ip4 ip) const {
+    if (length == 0) return true;
+    const Ip4 mask = static_cast<Ip4>(~((1ULL << (32 - length)) - 1));
+    return (ip & mask) == address;
+  }
+
+  /// Number of addresses covered.
+  std::uint64_t size() const { return 1ULL << (32 - length); }
+
+  bool operator==(const Prefix&) const = default;
+};
+
+/// Dotted-quad rendering, e.g. "10.42.0.1".
+std::string to_string(Ip4 ip);
+/// "10.42.0.0/16" rendering.
+std::string to_string(const Prefix& p);
+/// Parses dotted-quad; throws std::invalid_argument on malformed input.
+Ip4 parse_ip4(const std::string& text);
+
+}  // namespace ct::net

@@ -1,0 +1,73 @@
+// Longest-prefix-match IP-to-AS mapping.
+//
+// Substitutes for the CAIDA routed-prefix dataset the paper uses to
+// convert IP-level traceroutes to AS-level paths.  Implemented as a
+// binary trie over address bits; lookups return the AS of the most
+// specific covering prefix, or nothing for unmapped space (IXP fabrics,
+// unannounced ranges) — exactly the failure mode that produces the
+// paper's "IP-to-AS mapping was not possible" eliminations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ip.h"
+#include "topo/as_graph.h"
+
+namespace ct::net {
+
+class Ip2AsDb {
+ public:
+  Ip2AsDb();
+  ~Ip2AsDb();
+  Ip2AsDb(Ip2AsDb&&) noexcept;
+  Ip2AsDb& operator=(Ip2AsDb&&) noexcept;
+  Ip2AsDb(const Ip2AsDb&) = delete;
+  Ip2AsDb& operator=(const Ip2AsDb&) = delete;
+
+  /// Registers a prefix as originated by `as_id`.  More-specific
+  /// prefixes win on lookup.  Re-registering the same prefix overwrites.
+  void add_prefix(const Prefix& prefix, topo::AsId as_id);
+
+  /// Longest-prefix-match lookup.
+  std::optional<topo::AsId> lookup(Ip4 ip) const;
+
+  std::size_t num_prefixes() const { return num_prefixes_; }
+
+  /// All registered prefixes (for export/debugging), in trie order.
+  std::vector<std::pair<Prefix, topo::AsId>> prefixes() const;
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t num_prefixes_ = 0;
+};
+
+/// Per-AS address plan produced by allocate_prefixes().
+struct AddressPlan {
+  /// prefixes[as] = prefixes owned by that AS.
+  std::vector<std::vector<Prefix>> prefixes;
+  /// Address space deliberately absent from the Ip2AsDb (models IXP /
+  /// unannounced space seen in traceroutes).
+  std::vector<Prefix> unmapped_pool;
+};
+
+struct AddressPlanConfig {
+  /// Prefixes per AS: 1 + extra, tier-1/transit get more.
+  std::int32_t stub_prefixes = 1;
+  std::int32_t transit_prefixes = 3;
+  std::int32_t tier1_prefixes = 4;
+  /// Number of /16 blocks reserved as unmapped space.
+  std::int32_t unmapped_blocks = 8;
+};
+
+/// Assigns disjoint /16 blocks from 10.0.0.0-style space to every AS and
+/// builds the matching Ip2AsDb.  Deterministic given the graph.
+AddressPlan allocate_prefixes(const topo::AsGraph& graph, const AddressPlanConfig& config);
+
+/// Builds the lookup database from a plan (unmapped pool excluded).
+Ip2AsDb build_ip2as(const AddressPlan& plan);
+
+}  // namespace ct::net

@@ -1,0 +1,162 @@
+#include "net/traceroute.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ct::net {
+
+TracerouteEngine::TracerouteEngine(const AddressPlan& plan, const TracerouteConfig& config)
+    : plan_(plan), config_(config) {
+  if (config.min_hops_per_as < 1 || config.max_hops_per_as < config.min_hops_per_as) {
+    throw std::invalid_argument("TracerouteConfig: bad hops_per_as range");
+  }
+}
+
+Ip4 TracerouteEngine::random_address_in(const Prefix& prefix, util::Rng& rng) const {
+  const std::uint64_t host_bits = prefix.size();
+  if (host_bits <= 1) return prefix.address;  // /32: only one address
+  // Avoid the network address itself (offset >= 1).
+  const auto offset = static_cast<Ip4>(rng.uniform_int(1, static_cast<std::int64_t>(host_bits) - 1));
+  return prefix.address + offset;
+}
+
+Ip4 TracerouteEngine::random_address_of_as(topo::AsId as, util::Rng& rng) const {
+  const auto& prefixes = plan_.prefixes.at(static_cast<std::size_t>(as));
+  if (prefixes.empty()) {
+    throw std::logic_error("TracerouteEngine: AS has no prefixes");
+  }
+  return random_address_in(prefixes[rng.index(prefixes.size())], rng);
+}
+
+Traceroute TracerouteEngine::trace(const std::vector<topo::AsId>& as_path,
+                                   util::Rng& rng) const {
+  Traceroute out;
+  if (as_path.empty() || rng.bernoulli(config_.error_prob)) {
+    out.error = true;
+    return out;
+  }
+  for (std::size_t i = 0; i < as_path.size(); ++i) {
+    const topo::AsId as = as_path[i];
+    const bool is_dest = i + 1 == as_path.size();
+    const auto hops = static_cast<std::int32_t>(
+        rng.uniform_int(config_.min_hops_per_as, config_.max_hops_per_as));
+    for (std::int32_t h = 0; h < hops; ++h) {
+      const bool is_final_hop = is_dest && h + 1 == hops;
+      if (is_final_hop) {
+        // The destination server answered the probe; always mapped.
+        out.hops.emplace_back(random_address_of_as(as, rng));
+        continue;
+      }
+      if (i == 0 && config_.vantage_hops_private) {
+        // VPN-tunnel / LAN hop: an address no IP-to-AS database covers.
+        out.hops.emplace_back((192u << 24) | (168u << 16) |
+                              static_cast<Ip4>(rng.uniform_int(0, 0xffff)));
+        continue;
+      }
+      if (rng.bernoulli(config_.unresponsive_prob)) {
+        out.hops.emplace_back(std::nullopt);
+      } else if (!plan_.unmapped_pool.empty() && rng.bernoulli(config_.unmapped_prob)) {
+        const auto& p = plan_.unmapped_pool[rng.index(plan_.unmapped_pool.size())];
+        out.hops.emplace_back(random_address_in(p, rng));
+      } else {
+        out.hops.emplace_back(random_address_of_as(as, rng));
+      }
+    }
+  }
+  return out;
+}
+
+std::array<Traceroute, 3> TracerouteEngine::trace_triple(
+    const std::vector<topo::AsId>& as_path, const std::vector<topo::AsId>& alternate_path,
+    double flutter_prob, util::Rng& rng) const {
+  std::array<Traceroute, 3> out;
+  std::size_t flutter_index = 3;  // none
+  if (!alternate_path.empty() && alternate_path != as_path && rng.bernoulli(flutter_prob)) {
+    flutter_index = rng.index(3);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    out[i] = trace(i == flutter_index ? alternate_path : as_path, rng);
+  }
+  return out;
+}
+
+std::string to_string(InferenceDrop drop) {
+  switch (drop) {
+    case InferenceDrop::kNone: return "ok";
+    case InferenceDrop::kNoMapping: return "no-ip-to-as-mapping";
+    case InferenceDrop::kTracerouteError: return "traceroute-error";
+    case InferenceDrop::kAmbiguousGap: return "ambiguous-gap";
+    case InferenceDrop::kDivergentPaths: return "divergent-paths";
+  }
+  return "?";
+}
+
+InferenceResult infer_single(const Traceroute& traceroute, const Ip2AsDb& db) {
+  InferenceResult result;
+  if (traceroute.error) {
+    result.drop = InferenceDrop::kTracerouteError;
+    return result;
+  }
+
+  std::vector<topo::AsId> path;
+  topo::AsId last_as = topo::kInvalidAs;
+  bool pending_gap = false;
+  for (const Hop& hop : traceroute.hops) {
+    std::optional<topo::AsId> mapped;
+    if (hop.has_value()) mapped = db.lookup(*hop);
+    if (!mapped.has_value()) {
+      // Timeout or unmapped space: an attribution gap.  Leading gaps
+      // (before any mapped hop) are benign — vantage-side private hops.
+      pending_gap = last_as != topo::kInvalidAs;
+      continue;
+    }
+    if (*mapped != last_as) {
+      if (pending_gap) {
+        // Rule 3: a gap flanked by two different ASes — the hidden hops
+        // could belong to either side or a third AS entirely.
+        result.drop = InferenceDrop::kAmbiguousGap;
+        return result;
+      }
+      path.push_back(*mapped);
+      last_as = *mapped;
+    }
+    pending_gap = false;
+  }
+  if (path.empty()) {
+    // Rule 1: nothing in this traceroute was mappable.
+    result.drop = InferenceDrop::kNoMapping;
+    return result;
+  }
+  result.as_path = std::move(path);
+  return result;
+}
+
+InferenceResult infer_as_path(const std::array<Traceroute, 3>& traceroutes,
+                              const Ip2AsDb& db) {
+  InferenceResult result;
+  // Rule 2 first: any outright traceroute failure voids the record.
+  for (const auto& t : traceroutes) {
+    if (t.error) {
+      result.drop = InferenceDrop::kTracerouteError;
+      return result;
+    }
+  }
+  std::vector<std::vector<topo::AsId>> paths;
+  for (const auto& t : traceroutes) {
+    InferenceResult single = infer_single(t, db);
+    if (single.drop != InferenceDrop::kNone) {
+      result.drop = single.drop;
+      return result;
+    }
+    paths.push_back(std::move(single.as_path));
+  }
+  // Rule 4: all three conversions must agree on one AS-level path.
+  if (paths[0] != paths[1] || paths[1] != paths[2]) {
+    result.drop = InferenceDrop::kDivergentPaths;
+    return result;
+  }
+  result.as_path = std::move(paths[0]);
+  return result;
+}
+
+}  // namespace ct::net

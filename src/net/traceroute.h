@@ -1,0 +1,110 @@
+// IP-level traceroute synthesis and AS-level path inference.
+//
+// The ICLab platform records three traceroutes per measurement; the
+// paper converts them to AS paths via IP-to-AS mapping and discards
+// records under four conditions (§3.1):
+//   (1) no IP in the traceroute could be mapped to an AS,
+//   (2) the traceroute failed outright,
+//   (3) an unresponsive/unmappable gap sits between two different ASes
+//       (AS inference ambiguous),
+//   (4) the three traceroutes yield more than one distinct AS path.
+// TracerouteEngine produces realistic raw traceroutes (multiple router
+// hops per AS, unresponsive hops, unmapped border addresses, outright
+// errors); infer_as_path implements the conversion with exactly those
+// four elimination rules.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ip2as.h"
+#include "topo/as_graph.h"
+#include "util/rng.h"
+
+namespace ct::net {
+
+/// One hop in a raw traceroute: the responding address, or nothing for a
+/// "* * *" timeout.
+using Hop = std::optional<Ip4>;
+
+struct Traceroute {
+  /// True if the traceroute failed entirely (no usable hops recorded).
+  bool error = false;
+  std::vector<Hop> hops;
+};
+
+struct TracerouteConfig {
+  /// Probability an entire traceroute errors out.
+  double error_prob = 0.008;
+  /// Per-hop probability of a timeout (unresponsive router).
+  double unresponsive_prob = 0.006;
+  /// Per-hop probability the responding address is from unmapped space.
+  double unmapped_prob = 0.004;
+  /// Min/max router hops rendered per AS on the path.
+  std::int32_t min_hops_per_as = 1;
+  std::int32_t max_hops_per_as = 3;
+  /// Render the vantage AS's own hops from private (RFC1918-style,
+  /// unmappable) space.  ICLab vantage points are VPN clients: their
+  /// first hops are VPN-tunnel / data-center LAN addresses that no
+  /// IP-to-AS database maps, so the vantage AS itself does not appear
+  /// as a literal in the paper's clauses.
+  bool vantage_hops_private = true;
+};
+
+class TracerouteEngine {
+ public:
+  TracerouteEngine(const AddressPlan& plan, const TracerouteConfig& config);
+
+  /// Renders one traceroute along the AS-level path (vantage first).
+  /// The destination's final hop is always rendered (when the traceroute
+  /// does not error), mirroring a completed probe.
+  Traceroute trace(const std::vector<topo::AsId>& as_path, util::Rng& rng) const;
+
+  /// Renders the three traceroutes of one measurement.  With probability
+  /// `flutter_prob`, one of the three follows `alternate_path` instead
+  /// (route change racing the measurement) — the organic source of
+  /// rule-4 eliminations.  Pass an empty alternate to disable.
+  std::array<Traceroute, 3> trace_triple(const std::vector<topo::AsId>& as_path,
+                                         const std::vector<topo::AsId>& alternate_path,
+                                         double flutter_prob, util::Rng& rng) const;
+
+ private:
+  Ip4 random_address_in(const Prefix& prefix, util::Rng& rng) const;
+  Ip4 random_address_of_as(topo::AsId as, util::Rng& rng) const;
+
+  const AddressPlan& plan_;
+  TracerouteConfig config_;
+};
+
+/// Why a measurement's paths were discarded during clause formulation.
+enum class InferenceDrop : std::uint8_t {
+  kNone = 0,          // usable AS path obtained
+  kNoMapping,         // rule 1: nothing mappable
+  kTracerouteError,   // rule 2: traceroute failed
+  kAmbiguousGap,      // rule 3: gap between two different ASes
+  kDivergentPaths,    // rule 4: the three traceroutes disagree
+};
+
+std::string to_string(InferenceDrop drop);
+
+struct InferenceResult {
+  InferenceDrop drop = InferenceDrop::kNone;
+  /// Inferred AS-level path, starting at the first *mappable* hop
+  /// (usually the vantage's upstream provider — the vantage AS's own
+  /// hops are private space); empty unless drop == kNone.
+  std::vector<topo::AsId> as_path;
+};
+
+/// Converts one raw traceroute to an AS path.  Leading unmappable hops
+/// (the vantage's private addresses) are benign; a gap *between* two
+/// different mapped ASes is ambiguous (rule 3).
+InferenceResult infer_single(const Traceroute& traceroute, const Ip2AsDb& db);
+
+/// Applies all four elimination rules across a measurement's three
+/// traceroutes.
+InferenceResult infer_as_path(const std::array<Traceroute, 3>& traceroutes,
+                              const Ip2AsDb& db);
+
+}  // namespace ct::net

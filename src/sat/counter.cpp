@@ -1,0 +1,225 @@
+#include "sat/counter.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace ct::sat {
+
+namespace {
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return (s < a || s > kCountCap) ? kCountCap : s;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kCountCap / b) return kCountCap;
+  return a * b;
+}
+
+std::uint64_t sat_pow2(std::uint64_t e) {
+  return e >= 62 ? kCountCap : (1ULL << e);
+}
+
+/// Working formula: clauses as literal vectors, plus the number of
+/// in-scope variables not yet assigned.
+struct SubFormula {
+  std::vector<std::vector<Lit>> clauses;
+  std::int64_t scope_vars = 0;  // unassigned vars in scope (incl. free ones)
+};
+
+class CounterImpl {
+ public:
+  explicit CounterImpl(std::uint64_t& hits, std::uint64_t& lookups)
+      : cache_hits_(hits), cache_lookups_(lookups) {}
+
+  std::uint64_t run(const Cnf& cnf) {
+    SubFormula f;
+    f.clauses = cnf.clauses;
+    f.scope_vars = cnf.num_vars;
+    return count(std::move(f));
+  }
+
+ private:
+  // Applies unit propagation; returns false on conflict.  Assigned
+  // variables are removed from scope.
+  static bool unit_propagate(SubFormula& f) {
+    std::unordered_map<Var, bool> forced;  // var -> value
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<std::vector<Lit>> next;
+      next.reserve(f.clauses.size());
+      for (auto& clause : f.clauses) {
+        std::vector<Lit> reduced;
+        reduced.reserve(clause.size());
+        bool satisfied = false;
+        for (const Lit l : clause) {
+          const auto it = forced.find(l.var());
+          if (it == forced.end()) {
+            reduced.push_back(l);
+          } else if (it->second == !l.negated()) {
+            satisfied = true;
+            break;
+          }  // else: literal false, drop it
+        }
+        if (satisfied) continue;
+        if (reduced.empty()) return false;  // conflict
+        if (reduced.size() == 1) {
+          const Lit u = reduced[0];
+          const auto it = forced.find(u.var());
+          const bool val = !u.negated();
+          if (it != forced.end()) {
+            if (it->second != val) return false;
+          } else {
+            forced.emplace(u.var(), val);
+            changed = true;
+          }
+          continue;  // unit clause is consumed by the forced assignment
+        }
+        next.push_back(std::move(reduced));
+      }
+      f.clauses = std::move(next);
+    }
+    f.scope_vars -= static_cast<std::int64_t>(forced.size());
+    return true;
+  }
+
+  // Splits clauses into connected components over shared variables.
+  static std::vector<std::vector<std::vector<Lit>>> components(
+      const std::vector<std::vector<Lit>>& clauses) {
+    const auto n = clauses.size();
+    std::vector<std::size_t> parent(n);
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+    auto find = [&](std::size_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    auto unite = [&](std::size_t a, std::size_t b) { parent[find(a)] = find(b); };
+
+    std::unordered_map<Var, std::size_t> var_owner;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const Lit l : clauses[i]) {
+        const auto [it, inserted] = var_owner.emplace(l.var(), i);
+        if (!inserted) unite(i, it->second);
+      }
+    }
+    std::unordered_map<std::size_t, std::size_t> root_index;
+    std::vector<std::vector<std::vector<Lit>>> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = find(i);
+      const auto [it, inserted] = root_index.emplace(r, out.size());
+      if (inserted) out.emplace_back();
+      out[it->second].push_back(clauses[i]);
+    }
+    return out;
+  }
+
+  static std::int64_t distinct_vars(const std::vector<std::vector<Lit>>& clauses) {
+    std::vector<Var> vars;
+    for (const auto& c : clauses) {
+      for (const Lit l : c) vars.push_back(l.var());
+    }
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    return static_cast<std::int64_t>(vars.size());
+  }
+
+  static std::string cache_key(const std::vector<std::vector<Lit>>& clauses) {
+    std::vector<std::string> parts;
+    parts.reserve(clauses.size());
+    for (const auto& c : clauses) {
+      std::vector<std::int32_t> codes;
+      codes.reserve(c.size());
+      for (const Lit l : c) codes.push_back(l.code());
+      std::sort(codes.begin(), codes.end());
+      std::string s;
+      for (const auto code : codes) {
+        s += std::to_string(code);
+        s.push_back(',');
+      }
+      parts.push_back(std::move(s));
+    }
+    std::sort(parts.begin(), parts.end());
+    std::string key;
+    for (auto& p : parts) {
+      key += p;
+      key.push_back(';');
+    }
+    return key;
+  }
+
+  std::uint64_t count(SubFormula f) {
+    if (!unit_propagate(f)) return 0;
+    if (f.clauses.empty()) {
+      return sat_pow2(static_cast<std::uint64_t>(std::max<std::int64_t>(f.scope_vars, 0)));
+    }
+    const std::int64_t constrained = distinct_vars(f.clauses);
+    const std::int64_t free_vars = f.scope_vars - constrained;
+    std::uint64_t result = sat_pow2(static_cast<std::uint64_t>(std::max<std::int64_t>(free_vars, 0)));
+
+    for (auto& comp : components(f.clauses)) {
+      result = sat_mul(result, count_component(comp));
+      if (result == 0) return 0;
+    }
+    return result;
+  }
+
+  std::uint64_t count_component(const std::vector<std::vector<Lit>>& clauses) {
+    ++cache_lookups_;
+    const std::string key = cache_key(clauses);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      ++cache_hits_;
+      return it->second;
+    }
+
+    // Branch on the most frequent variable in the component.
+    std::unordered_map<Var, int> freq;
+    for (const auto& c : clauses) {
+      for (const Lit l : c) ++freq[l.var()];
+    }
+    Var branch = clauses[0][0].var();
+    int best = -1;
+    for (const auto& [v, n] : freq) {
+      if (n > best || (n == best && v < branch)) {
+        best = n;
+        branch = v;
+      }
+    }
+
+    std::uint64_t total = 0;
+    for (const bool val : {false, true}) {
+      SubFormula sub;
+      sub.scope_vars = static_cast<std::int64_t>(freq.size());
+      sub.clauses.push_back({Lit(branch, /*negated=*/!val)});  // force branch=val
+      for (const auto& c : clauses) sub.clauses.push_back(c);
+      total = sat_add(total, count(std::move(sub)));
+    }
+
+    cache_.emplace(key, total);
+    return total;
+  }
+
+  std::unordered_map<std::string, std::uint64_t> cache_;
+  std::uint64_t& cache_hits_;
+  std::uint64_t& cache_lookups_;
+};
+
+}  // namespace
+
+CountResult ModelCounter::count(const Cnf& cnf) {
+  cache_hits_ = 0;
+  cache_lookups_ = 0;
+  CounterImpl impl(cache_hits_, cache_lookups_);
+  CountResult out;
+  out.count = impl.run(cnf);
+  out.saturated = out.count >= kCountCap;
+  return out;
+}
+
+}  // namespace ct::sat

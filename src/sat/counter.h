@@ -1,0 +1,46 @@
+// Exact propositional model counting (#SAT).
+//
+// A DPLL-style counter with unit propagation, connected-component
+// decomposition, component caching, and most-occurrences branching.
+// Counts saturate at kCountCap so callers never overflow; for the
+// paper's workload (small per-URL CNFs) counts are tiny, but the counter
+// is general and is exercised independently by tests and benchmarks.
+//
+// Note: pure-literal elimination is deliberately absent — it is sound
+// for satisfiability but changes model counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace ct::sat {
+
+/// Saturation value for model counts (2^62).
+inline constexpr std::uint64_t kCountCap = 1ULL << 62;
+
+struct CountResult {
+  /// Number of models over all cnf.num_vars variables, saturated at
+  /// kCountCap.
+  std::uint64_t count = 0;
+  /// True if the count hit the cap.
+  bool saturated = false;
+};
+
+class ModelCounter {
+ public:
+  /// Counts models of `cnf` over all cnf.num_vars variables (variables
+  /// not occurring in any clause are free and double the count).
+  CountResult count(const Cnf& cnf);
+
+  /// Cache statistics from the last count() call.
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_lookups() const { return cache_lookups_; }
+
+ private:
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_lookups_ = 0;
+};
+
+}  // namespace ct::sat

@@ -1,0 +1,79 @@
+// Model enumeration (AllSAT) and backbone-style queries on top of the
+// CDCL solver.
+//
+// The tomography layer needs three things from a CNF:
+//   1. classify_solution_count: does the CNF have 0, 1, or 2+ models
+//      (and, for Figure 4, the exact count up to a small cap)?
+//   2. enumerate_models: the concrete models (used to read off censor
+//      assignments when the model is unique).
+//   3. potential_true_vars: the set of variables assigned True in at
+//      least one model (the paper's "potential censors"; its complement
+//      is the "definite non-censor" set).
+//
+// Enumeration uses blocking clauses over an optional projection set.
+// potential_true_vars uses one assumption-based solve per undecided
+// variable, seeded with the models already found, which is much cheaper
+// than full enumeration when the model count is large.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace ct::sat {
+
+struct EnumerateOptions {
+  /// Stop after this many models (0 means no cap — beware exponential
+  /// blowup on underconstrained formulas).
+  std::uint64_t max_models = 64;
+  /// If non-empty, models are projected onto these variables: two models
+  /// identical on the projection count once.
+  std::vector<Var> projection;
+};
+
+struct EnumerateResult {
+  /// Distinct (projected) models found, up to the cap.
+  std::vector<std::vector<Lit>> models;
+  /// True if enumeration stopped because of the cap (so the real count
+  /// is >= models.size(); it may be larger).
+  bool truncated = false;
+};
+
+/// Enumerates models of `cnf`.  Each returned model is the list of
+/// projection literals in their satisfying polarity (all variables if no
+/// projection was given).
+EnumerateResult enumerate_models(const Cnf& cnf, const EnumerateOptions& options = {});
+
+/// Number of models, counted exactly up to `cap` (enumeration-based).
+/// Returns cap if there are at least `cap` models.
+std::uint64_t count_models_capped(const Cnf& cnf, std::uint64_t cap,
+                                  const std::vector<Var>& projection = {});
+
+struct SolutionClassification {
+  /// 0, 1, or 2 (2 means "two or more").
+  int solution_class = 0;
+  /// The unique model when solution_class == 1.
+  std::optional<std::vector<Lit>> unique_model;
+};
+
+/// Cheap 0 / 1 / 2+ classification (at most two solver runs).
+SolutionClassification classify_solution_count(const Cnf& cnf,
+                                               const std::vector<Var>& projection = {});
+
+struct PotentialTrueResult {
+  /// Variables that are True in at least one model.
+  std::vector<Var> potential_true;
+  /// Variables that are False in every model ("definite non-censors").
+  std::vector<Var> always_false;
+  /// Whether the formula was satisfiable at all.
+  bool satisfiable = false;
+};
+
+/// For each variable in `vars` (all CNF variables if empty), determines
+/// whether any model assigns it True.  Requires the CNF to be
+/// satisfiable for a meaningful split.
+PotentialTrueResult potential_true_vars(const Cnf& cnf, const std::vector<Var>& vars = {});
+
+}  // namespace ct::sat

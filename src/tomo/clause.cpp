@@ -1,0 +1,45 @@
+#include "tomo/clause.h"
+
+namespace ct::tomo {
+
+PathPool::PathId PathPool::intern(const std::vector<topo::AsId>& path) {
+  const auto [it, inserted] = index_.emplace(path, static_cast<PathId>(paths_.size()));
+  if (inserted) paths_.push_back(path);
+  return it->second;
+}
+
+void ClauseBuilder::on_measurement(const iclab::Measurement& m) {
+  ++stats_.measurements;
+  const net::InferenceResult inferred = net::infer_as_path(m.traceroutes, db_);
+  switch (inferred.drop) {
+    case net::InferenceDrop::kNoMapping:
+      ++stats_.dropped_no_mapping;
+      return;
+    case net::InferenceDrop::kTracerouteError:
+      ++stats_.dropped_traceroute_error;
+      return;
+    case net::InferenceDrop::kAmbiguousGap:
+      ++stats_.dropped_ambiguous_gap;
+      return;
+    case net::InferenceDrop::kDivergentPaths:
+      ++stats_.dropped_divergent_paths;
+      return;
+    case net::InferenceDrop::kNone:
+      break;
+  }
+  ++stats_.usable_measurements;
+  const PathPool::PathId path_id = pool_.intern(inferred.as_path);
+  for (const censor::Anomaly a : censor::kAllAnomalies) {
+    PathClause clause;
+    clause.path_id = path_id;
+    clause.url_id = m.url_id;
+    clause.vantage = m.vantage;
+    clause.day = m.day;
+    clause.anomaly = a;
+    clause.observed = m.detected[static_cast<std::size_t>(a)];
+    clauses_.push_back(clause);
+    ++stats_.clauses;
+  }
+}
+
+}  // namespace ct::tomo

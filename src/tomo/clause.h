@@ -1,0 +1,93 @@
+// Clause formulation (paper §3.1).
+//
+// Each usable measurement yields, per anomaly type, a boolean constraint
+// over the ASes of its (inferred) path: a positive clause
+// (X1 ∨ ... ∨ Xk) = True when the anomaly was detected, or the negative
+// form (¬X1 ∧ ... ∧ ¬Xk) when it was not.  Records are eliminated under
+// the paper's four conditions, implemented in net::infer_as_path; this
+// layer runs the inference, tracks elimination statistics, and retains
+// the clause stream for CNF construction.
+//
+// Paths are interned in a PathPool: a year-long run emits millions of
+// clauses over a few thousand distinct AS paths, so clauses store a
+// 4-byte path id instead of a vector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "censor/policy.h"
+#include "iclab/platform.h"
+#include "net/traceroute.h"
+#include "util/timewin.h"
+
+namespace ct::tomo {
+
+/// Deduplicating store of AS-level paths.
+class PathPool {
+ public:
+  using PathId = std::int32_t;
+
+  /// Returns the id of `path`, interning it on first sight.
+  PathId intern(const std::vector<topo::AsId>& path);
+  const std::vector<topo::AsId>& get(PathId id) const {
+    return paths_.at(static_cast<std::size_t>(id));
+  }
+  std::size_t size() const { return paths_.size(); }
+
+ private:
+  std::map<std::vector<topo::AsId>, PathId> index_;
+  std::vector<std::vector<topo::AsId>> paths_;
+};
+
+/// One boolean path constraint (20 bytes).
+struct PathClause {
+  PathPool::PathId path_id = -1;
+  std::int32_t url_id = 0;
+  /// The measuring vantage AS.  Bookkeeping only (e.g., the Figure-4
+  /// churn ablation groups by vantage): the vantage AS is typically NOT
+  /// a literal of the clause because its own traceroute hops are
+  /// private, unmappable addresses.
+  topo::AsId vantage = topo::kInvalidAs;
+  util::Day day = 0;
+  censor::Anomaly anomaly = censor::Anomaly::kDns;
+  bool observed = false;  // anomaly detected on this measurement
+};
+
+struct ClauseBuildStats {
+  std::int64_t measurements = 0;
+  std::int64_t dropped_no_mapping = 0;
+  std::int64_t dropped_traceroute_error = 0;
+  std::int64_t dropped_ambiguous_gap = 0;
+  std::int64_t dropped_divergent_paths = 0;
+  std::int64_t usable_measurements = 0;
+  std::int64_t clauses = 0;
+
+  std::int64_t dropped_total() const {
+    return dropped_no_mapping + dropped_traceroute_error + dropped_ambiguous_gap +
+           dropped_divergent_paths;
+  }
+};
+
+/// Streaming sink: converts measurements to clauses as they arrive.
+class ClauseBuilder : public iclab::MeasurementSink {
+ public:
+  /// The database must outlive the builder.
+  explicit ClauseBuilder(const net::Ip2AsDb& db) : db_(db) {}
+
+  void on_measurement(const iclab::Measurement& m) override;
+
+  const PathPool& pool() const { return pool_; }
+  const std::vector<PathClause>& clauses() const { return clauses_; }
+  const ClauseBuildStats& stats() const { return stats_; }
+
+ private:
+  const net::Ip2AsDb& db_;
+  PathPool pool_;
+  std::vector<PathClause> clauses_;
+  ClauseBuildStats stats_;
+};
+
+}  // namespace ct::tomo

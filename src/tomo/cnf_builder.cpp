@@ -1,0 +1,117 @@
+#include "tomo/cnf_builder.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ct::tomo {
+
+sat::Var TomoCnf::var_of(topo::AsId as) const {
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    if (vars[v] == as) return static_cast<sat::Var>(v);
+  }
+  return -1;
+}
+
+namespace {
+
+struct Group {
+  // Deduplicated positive / negative path ids, insertion-ordered
+  // (positives keep path order for the leakage analysis).
+  std::vector<PathPool::PathId> positive_ids;
+  std::set<PathPool::PathId> positive_seen;
+  std::set<PathPool::PathId> negative_seen;
+};
+
+}  // namespace
+
+std::vector<TomoCnf> build_cnfs(const PathPool& pool, const std::vector<PathClause>& clauses,
+                                const CnfBuildOptions& options) {
+  std::map<CnfKey, Group> groups;
+  for (const PathClause& clause : clauses) {
+    for (const util::Granularity g : options.granularities) {
+      CnfKey key;
+      key.url_id = clause.url_id;
+      key.anomaly = clause.anomaly;
+      key.granularity = g;
+      key.window = util::window_of(clause.day, g);
+      Group& group = groups[key];
+      if (clause.observed) {
+        if (group.positive_seen.insert(clause.path_id).second) {
+          group.positive_ids.push_back(clause.path_id);
+        }
+      } else {
+        group.negative_seen.insert(clause.path_id);
+      }
+    }
+  }
+
+  std::vector<TomoCnf> out;
+  for (auto& [key, group] : groups) {
+    if (options.require_positive && group.positive_ids.empty()) continue;
+
+    TomoCnf tc;
+    tc.key = key;
+
+    // Variable space: every AS observed in this CNF's clauses.
+    std::set<topo::AsId> as_set;
+    for (const auto id : group.negative_seen) {
+      const auto& path = pool.get(id);
+      as_set.insert(path.begin(), path.end());
+    }
+    for (const auto id : group.positive_ids) {
+      const auto& path = pool.get(id);
+      as_set.insert(path.begin(), path.end());
+    }
+    tc.vars.assign(as_set.begin(), as_set.end());
+    std::map<topo::AsId, sat::Var> var_of;
+    for (std::size_t v = 0; v < tc.vars.size(); ++v) {
+      var_of[tc.vars[v]] = static_cast<sat::Var>(v);
+    }
+    tc.cnf.num_vars = static_cast<std::int32_t>(tc.vars.size());
+
+    // Negative units (one per AS seen on any clean path), deterministic
+    // order.
+    std::set<topo::AsId> negative_ases;
+    for (const auto id : group.negative_seen) {
+      const auto& path = pool.get(id);
+      negative_ases.insert(path.begin(), path.end());
+    }
+    for (const topo::AsId as : negative_ases) {
+      tc.cnf.add_clause({sat::Lit(var_of[as], /*negated=*/true)});
+      ++tc.num_negative_units;
+    }
+    // Positive disjunctions.
+    for (const auto id : group.positive_ids) {
+      const auto& path = pool.get(id);
+      std::vector<sat::Lit> lits;
+      std::set<sat::Var> seen;
+      for (const topo::AsId as : path) {
+        const sat::Var v = var_of[as];
+        if (seen.insert(v).second) lits.emplace_back(v, /*negated=*/false);
+      }
+      tc.cnf.add_clause(std::move(lits));
+      ++tc.num_positive_clauses;
+      tc.positive_paths.push_back(path);
+    }
+    out.push_back(std::move(tc));
+  }
+  return out;
+}
+
+std::vector<PathClause> strip_path_churn(const PathPool& pool,
+                                         const std::vector<PathClause>& clauses) {
+  // First path observed per (vantage, URL); clause order is the
+  // platform's emission order, i.e. chronological within a URL.
+  std::map<std::pair<topo::AsId, std::int32_t>, PathPool::PathId> first_path;
+  std::vector<PathClause> out;
+  for (const PathClause& clause : clauses) {
+    if (pool.get(clause.path_id).empty()) continue;
+    const auto key = std::make_pair(clause.vantage, clause.url_id);
+    const auto it = first_path.emplace(key, clause.path_id).first;
+    if (it->second == clause.path_id) out.push_back(clause);
+  }
+  return out;
+}
+
+}  // namespace ct::tomo

@@ -1,0 +1,69 @@
+// Time- and URL-based splitting of path clauses into CNFs (paper §3.1).
+//
+// One CNF is built per (URL, anomaly type, time window) at each of the
+// four granularities (day / week / month / year).  Within a CNF:
+//   * every AS observed in any member clause becomes a SAT variable,
+//   * a positive clause contributes the disjunction of its path's
+//     variables,
+//   * a negative clause contributes a negative unit clause for each AS
+//     on its path ("this AS was observed censorship-free").
+// Duplicate constraints are deduplicated.  By default, CNFs with no
+// positive clause are skipped: they are trivially uniquely satisfied by
+// the all-False assignment and identify no censors (see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.h"
+#include "tomo/clause.h"
+
+namespace ct::tomo {
+
+struct CnfKey {
+  std::int32_t url_id = 0;
+  censor::Anomaly anomaly = censor::Anomaly::kDns;
+  util::Granularity granularity = util::Granularity::kDay;
+  std::int32_t window = 0;
+
+  auto operator<=>(const CnfKey&) const = default;
+};
+
+/// A fully formed tomography SAT instance.
+struct TomoCnf {
+  CnfKey key;
+  /// Variable index -> AS id.
+  std::vector<topo::AsId> vars;
+  sat::Cnf cnf;
+  /// Deduplicated positive (anomaly-observed) paths, vantage first;
+  /// retained for the leakage analysis.
+  std::vector<std::vector<topo::AsId>> positive_paths;
+  std::int32_t num_positive_clauses = 0;
+  std::int32_t num_negative_units = 0;
+
+  /// Variable of an AS, or -1 if the AS does not occur.
+  sat::Var var_of(topo::AsId as) const;
+};
+
+struct CnfBuildOptions {
+  /// Skip CNFs containing no positive clause.
+  bool require_positive = true;
+  /// Granularities to build (all four by default).
+  std::vector<util::Granularity> granularities{util::Granularity::kDay,
+                                               util::Granularity::kWeek,
+                                               util::Granularity::kMonth,
+                                               util::Granularity::kYear};
+};
+
+/// Groups clauses into per-(URL, anomaly, window) CNFs.  Output is
+/// sorted by key, deterministic.
+std::vector<TomoCnf> build_cnfs(const PathPool& pool, const std::vector<PathClause>& clauses,
+                                const CnfBuildOptions& options = {});
+
+/// Figure 4's ablation filter: keeps, per (vantage, URL), only the
+/// clauses whose path equals the first path observed for that pair —
+/// i.e., erases the effect of path churn.
+std::vector<PathClause> strip_path_churn(const PathPool& pool,
+                                         const std::vector<PathClause>& clauses);
+
+}  // namespace ct::tomo

@@ -1,0 +1,94 @@
+#include "tomo/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sat/enumerate.h"
+
+namespace ct::tomo {
+
+CnfVerdict analyze_cnf(const TomoCnf& tc, const AnalysisOptions& options) {
+  CnfVerdict verdict;
+  verdict.key = tc.key;
+  verdict.num_vars = tc.vars.size();
+
+  sat::EnumerateOptions enum_options;
+  enum_options.max_models = std::max<std::uint64_t>(options.count_cap, 2);
+  const sat::EnumerateResult models = sat::enumerate_models(tc.cnf, enum_options);
+  verdict.capped_count = std::min<std::uint64_t>(models.models.size(), options.count_cap);
+  verdict.solution_class = static_cast<int>(std::min<std::size_t>(models.models.size(), 2));
+
+  if (verdict.solution_class == 1) {
+    for (const sat::Lit l : models.models.front()) {
+      if (!l.negated()) verdict.censors.push_back(tc.vars[static_cast<std::size_t>(l.var())]);
+    }
+    std::sort(verdict.censors.begin(), verdict.censors.end());
+  } else if (verdict.solution_class == 2) {
+    const sat::PotentialTrueResult split = sat::potential_true_vars(tc.cnf);
+    for (const sat::Var v : split.potential_true) {
+      verdict.potential_censors.push_back(tc.vars[static_cast<std::size_t>(v)]);
+    }
+    for (const sat::Var v : split.always_false) {
+      verdict.definite_noncensors.push_back(tc.vars[static_cast<std::size_t>(v)]);
+    }
+    std::sort(verdict.potential_censors.begin(), verdict.potential_censors.end());
+    std::sort(verdict.definite_noncensors.begin(), verdict.definite_noncensors.end());
+    verdict.reduction_fraction =
+        verdict.num_vars == 0
+            ? 0.0
+            : static_cast<double>(verdict.definite_noncensors.size()) /
+                  static_cast<double>(verdict.num_vars);
+  }
+  return verdict;
+}
+
+std::vector<CnfVerdict> analyze_cnfs(const std::vector<TomoCnf>& cnfs,
+                                     const AnalysisOptions& options) {
+  std::vector<CnfVerdict> out;
+  out.reserve(cnfs.size());
+  for (const TomoCnf& tc : cnfs) out.push_back(analyze_cnf(tc, options));
+  return out;
+}
+
+std::vector<topo::AsId> identified_censors(const std::vector<CnfVerdict>& verdicts,
+                                           std::int32_t min_support) {
+  // Support = distinct (URL, anomaly) pairs with a unique-solution CNF
+  // naming the AS.
+  std::map<topo::AsId, std::set<std::pair<std::int32_t, censor::Anomaly>>> support;
+  for (const CnfVerdict& v : verdicts) {
+    if (v.solution_class != 1) continue;
+    for (const topo::AsId as : v.censors) {
+      support[as].emplace(v.key.url_id, v.key.anomaly);
+    }
+  }
+  std::vector<topo::AsId> out;
+  for (const auto& [as, evidence] : support) {
+    if (static_cast<std::int32_t>(evidence.size()) >= min_support) out.push_back(as);
+  }
+  return out;
+}
+
+CensorScore score_censors(const std::vector<topo::AsId>& identified,
+                          const std::vector<topo::AsId>& ground_truth) {
+  const std::set<topo::AsId> truth(ground_truth.begin(), ground_truth.end());
+  const std::set<topo::AsId> found(identified.begin(), identified.end());
+  CensorScore score;
+  for (const topo::AsId as : found) {
+    if (truth.count(as)) {
+      ++score.true_positives;
+    } else {
+      ++score.false_positives;
+      score.false_positive_ases.push_back(as);
+    }
+  }
+  for (const topo::AsId as : truth) {
+    if (!found.count(as)) {
+      ++score.false_negatives;
+      score.false_negative_ases.push_back(as);
+    }
+  }
+  return score;
+}
+
+}  // namespace ct::tomo

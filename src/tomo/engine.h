@@ -1,0 +1,84 @@
+// SAT-based analysis of tomography CNFs (paper §3.2).
+//
+// Each CNF is classified by its number of satisfying assignments:
+//   0  — unsolvable (measurement noise or a policy change inside the
+//        window),
+//   1  — the ideal case: the True variables are exactly the censoring
+//        ASes,
+//   2+ — underconstrained: every AS that is True in at least one model
+//        is a *potential* censor; ASes False in every model are
+//        *definite non-censors* (the paper's >95% reduction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "censor/policy.h"
+#include "tomo/cnf_builder.h"
+
+namespace ct::tomo {
+
+struct AnalysisOptions {
+  /// Models are enumerated up to this cap; Figure 4 plots 0..5+ so the
+  /// default resolves counts up to 6.
+  std::uint64_t count_cap = 6;
+};
+
+struct CnfVerdict {
+  CnfKey key;
+  std::size_t num_vars = 0;
+  /// 0, 1, or 2 (= two or more solutions).
+  int solution_class = 0;
+  /// Exact model count up to the cap (== cap means "cap or more").
+  std::uint64_t capped_count = 0;
+  /// solution_class == 1: exactly identified censoring ASes.
+  std::vector<topo::AsId> censors;
+  /// solution_class == 2: ASes True in >= 1 model.
+  std::vector<topo::AsId> potential_censors;
+  /// solution_class == 2: ASes False in every model.
+  std::vector<topo::AsId> definite_noncensors;
+  /// solution_class == 2: |definite_noncensors| / num_vars.
+  double reduction_fraction = 0.0;
+};
+
+/// Analyzes one CNF.
+CnfVerdict analyze_cnf(const TomoCnf& tc, const AnalysisOptions& options = {});
+
+/// Analyzes a batch.
+std::vector<CnfVerdict> analyze_cnfs(const std::vector<TomoCnf>& cnfs,
+                                     const AnalysisOptions& options = {});
+
+/// Union of exactly-identified censors across single-solution verdicts,
+/// sorted ascending.
+///
+/// `min_support` requires an AS to be identified by CNFs of at least
+/// that many distinct (URL, anomaly) pairs.  A transient detector false
+/// positive corrupts exactly one (URL, anomaly); real censorship covers
+/// whole URL categories, so min_support = 2 filters one-off noise while
+/// keeping true censors (see EXPERIMENTS.md for the precision impact).
+std::vector<topo::AsId> identified_censors(const std::vector<CnfVerdict>& verdicts,
+                                           std::int32_t min_support = 1);
+
+/// Precision/recall of identified censors against ground truth (only
+/// available in simulation — the paper could not compute this).
+struct CensorScore {
+  std::int32_t true_positives = 0;
+  std::int32_t false_positives = 0;
+  std::int32_t false_negatives = 0;
+  std::vector<topo::AsId> false_positive_ases;
+  std::vector<topo::AsId> false_negative_ases;
+
+  double precision() const {
+    const auto d = true_positives + false_positives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / d;
+  }
+  double recall() const {
+    const auto d = true_positives + false_negatives;
+    return d == 0 ? 0.0 : static_cast<double>(true_positives) / d;
+  }
+};
+
+CensorScore score_censors(const std::vector<topo::AsId>& identified,
+                          const std::vector<topo::AsId>& ground_truth);
+
+}  // namespace ct::tomo

@@ -1,0 +1,77 @@
+#include "tomo/leakage.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ct::tomo {
+
+std::int32_t LeakageReport::censors_leaking_to_ases() const {
+  std::int32_t n = 0;
+  for (const auto& [censor, leaks] : by_censor) n += leaks.victim_ases.empty() ? 0 : 1;
+  return n;
+}
+
+std::int32_t LeakageReport::censors_leaking_to_countries() const {
+  std::int32_t n = 0;
+  for (const auto& [censor, leaks] : by_censor) n += leaks.victim_countries.empty() ? 0 : 1;
+  return n;
+}
+
+LeakageReport analyze_leakage(const topo::AsGraph& graph, const std::vector<TomoCnf>& cnfs,
+                              const std::vector<CnfVerdict>& verdicts,
+                              std::int32_t min_support) {
+  if (cnfs.size() != verdicts.size()) {
+    throw std::invalid_argument("analyze_leakage: cnfs/verdicts size mismatch");
+  }
+  LeakageReport report;
+  report.censors = identified_censors(verdicts, min_support);
+  const std::set<topo::AsId> supported(report.censors.begin(), report.censors.end());
+
+  // (censor, victim) pairs already attributed, for country_flow dedup.
+  std::set<std::pair<topo::AsId, topo::AsId>> counted_pairs;
+
+  for (std::size_t i = 0; i < cnfs.size(); ++i) {
+    const CnfVerdict& verdict = verdicts[i];
+    if (verdict.solution_class != 1 || verdict.censors.empty()) continue;
+    std::set<topo::AsId> censors;
+    for (const topo::AsId as : verdict.censors) {
+      if (supported.count(as)) censors.insert(as);
+    }
+    if (censors.empty()) continue;
+
+    for (const auto& path : cnfs[i].positive_paths) {
+      // First censor along the path (vantage side first).
+      std::size_t censor_index = path.size();
+      for (std::size_t k = 0; k < path.size(); ++k) {
+        if (censors.count(path[k])) {
+          censor_index = k;
+          break;
+        }
+      }
+      if (censor_index == path.size()) continue;  // no identified censor here
+      const topo::AsId censor = path[censor_index];
+      const topo::CountryId censor_country = graph.as_info(censor).country;
+
+      // Everything strictly upstream (closer to the vantage) inherited
+      // the censorship; it is assigned False in the unique model by
+      // construction (only `censors` are True).
+      for (std::size_t k = 0; k < censor_index; ++k) {
+        const topo::AsId victim = path[k];
+        if (censors.count(victim)) continue;
+        CensorLeaks& leaks = report.by_censor[censor];
+        leaks.censor = censor;
+        leaks.victim_ases.insert(victim);
+        const topo::CountryId victim_country = graph.as_info(victim).country;
+        if (victim_country != censor_country) {
+          leaks.victim_countries.insert(victim_country);
+          if (counted_pairs.emplace(censor, victim).second) {
+            ++report.country_flow[{censor_country, victim_country}];
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ct::tomo

@@ -1,0 +1,53 @@
+// Censorship-leakage identification (paper §3.3).
+//
+// A censoring AS leaks its policy when traffic of *other* networks
+// transits it and inherits the filtering.  From every single-solution
+// CNF: for each anomaly-observed path, every AS upstream of the first
+// identified censor (closer to the vantage point) and assigned False is
+// a victim; when the victim sits in a different country, the leak
+// crosses a border (the paper's Table 3 / Figure 5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "tomo/engine.h"
+#include "topo/as_graph.h"
+
+namespace ct::tomo {
+
+/// Per-censor leak aggregation.
+struct CensorLeaks {
+  topo::AsId censor = topo::kInvalidAs;
+  /// ASes (any country) that inherited this censor's policy.
+  std::set<topo::AsId> victim_ases;
+  /// Victim countries other than the censor's own.
+  std::set<topo::CountryId> victim_countries;
+};
+
+struct LeakageReport {
+  /// All exactly-identified censors (single-solution CNFs), ascending.
+  std::vector<topo::AsId> censors;
+  /// Leak details per censor (only censors with >= 1 victim appear).
+  std::map<topo::AsId, CensorLeaks> by_censor;
+  /// (censor country, victim country) -> number of distinct
+  /// (censor, victim-AS) pairs crossing that border.
+  std::map<std::pair<topo::CountryId, topo::CountryId>, std::int64_t> country_flow;
+
+  /// Censors leaking to at least one other AS.
+  std::int32_t censors_leaking_to_ases() const;
+  /// Censors leaking into at least one other country.
+  std::int32_t censors_leaking_to_countries() const;
+};
+
+/// Runs the leakage analysis over analyzed CNFs.  `cnfs` and `verdicts`
+/// must be parallel arrays (as produced by build_cnfs + analyze_cnfs).
+/// `min_support` is forwarded to identified_censors(); only supported
+/// censors generate leaks.
+LeakageReport analyze_leakage(const topo::AsGraph& graph, const std::vector<TomoCnf>& cnfs,
+                              const std::vector<CnfVerdict>& verdicts,
+                              std::int32_t min_support = 1);
+
+}  // namespace ct::tomo

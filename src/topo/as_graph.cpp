@@ -1,0 +1,143 @@
+#include "topo/as_graph.h"
+
+#include <algorithm>
+
+namespace ct::topo {
+
+std::string to_string(AsTier tier) {
+  switch (tier) {
+    case AsTier::kTier1: return "tier1";
+    case AsTier::kTransit: return "transit";
+    case AsTier::kStub: return "stub";
+  }
+  return "?";
+}
+
+std::string to_string(AsClass cls) {
+  switch (cls) {
+    case AsClass::kTransitAccess: return "transit/access";
+    case AsClass::kContent: return "content";
+    case AsClass::kEnterprise: return "enterprise";
+  }
+  return "?";
+}
+
+std::string to_string(Region region) {
+  switch (region) {
+    case Region::kAsia: return "Asia";
+    case Region::kEurope: return "Europe";
+    case Region::kMiddleEast: return "Middle East";
+    case Region::kNorthAmerica: return "North America";
+    case Region::kSouthAmerica: return "South America";
+    case Region::kAfrica: return "Africa";
+    case Region::kOceania: return "Oceania";
+  }
+  return "?";
+}
+
+CountryId AsGraph::add_country(std::string code, Region region) {
+  for (const auto& c : countries_) {
+    if (c.code == code) {
+      throw std::invalid_argument("AsGraph::add_country: duplicate code " + code);
+    }
+  }
+  Country c;
+  c.id = static_cast<CountryId>(countries_.size());
+  c.code = std::move(code);
+  c.region = region;
+  countries_.push_back(std::move(c));
+  return countries_.back().id;
+}
+
+AsId AsGraph::add_as(std::int32_t asn, AsTier tier, AsClass cls, CountryId country) {
+  if (country < 0 || country >= num_countries()) {
+    throw std::invalid_argument("AsGraph::add_as: unknown country");
+  }
+  AsInfo info;
+  info.id = static_cast<AsId>(ases_.size());
+  info.asn = asn;
+  info.tier = tier;
+  info.cls = cls;
+  info.country = country;
+  ases_.push_back(info);
+  adjacency_.emplace_back();
+  return info.id;
+}
+
+bool AsGraph::has_link_between(AsId a, AsId b) const {
+  for (const auto& n : adjacency_[static_cast<std::size_t>(a)]) {
+    if (n.as == b) return true;
+  }
+  return false;
+}
+
+LinkId AsGraph::add_link(AsId a, AsId b, LinkRelation relation, bool is_volatile) {
+  if (a < 0 || a >= num_ases() || b < 0 || b >= num_ases()) {
+    throw std::invalid_argument("AsGraph::add_link: unknown AS");
+  }
+  if (a == b) throw std::invalid_argument("AsGraph::add_link: self link");
+  if (has_link_between(a, b)) {
+    throw std::invalid_argument("AsGraph::add_link: duplicate link");
+  }
+  Link l;
+  l.id = static_cast<LinkId>(links_.size());
+  l.a = a;
+  l.b = b;
+  l.relation = relation;
+  l.is_volatile = is_volatile;
+  links_.push_back(l);
+
+  if (relation == LinkRelation::kCustomerProvider) {
+    // a = customer, b = provider.
+    adjacency_[static_cast<std::size_t>(a)].push_back({b, NeighborKind::kProvider, l.id});
+    adjacency_[static_cast<std::size_t>(b)].push_back({a, NeighborKind::kCustomer, l.id});
+  } else {
+    adjacency_[static_cast<std::size_t>(a)].push_back({b, NeighborKind::kPeer, l.id});
+    adjacency_[static_cast<std::size_t>(b)].push_back({a, NeighborKind::kPeer, l.id});
+  }
+  return l.id;
+}
+
+std::vector<AsId> AsGraph::ases_with_tier(AsTier tier) const {
+  std::vector<AsId> out;
+  for (const auto& a : ases_) {
+    if (a.tier == tier) out.push_back(a.id);
+  }
+  return out;
+}
+
+std::vector<AsId> AsGraph::ases_with_class(AsClass cls) const {
+  std::vector<AsId> out;
+  for (const auto& a : ases_) {
+    if (a.cls == cls) out.push_back(a.id);
+  }
+  return out;
+}
+
+bool AsGraph::provider_connected() const {
+  // BFS downward from all tier-1s along provider->customer edges; every
+  // AS must be reached (i.e., every AS has an all-provider path up to
+  // the clique).
+  std::vector<bool> reached(static_cast<std::size_t>(num_ases()), false);
+  std::vector<AsId> queue;
+  for (const auto& a : ases_) {
+    if (a.tier == AsTier::kTier1) {
+      reached[static_cast<std::size_t>(a.id)] = true;
+      queue.push_back(a.id);
+    }
+  }
+  if (queue.empty()) return num_ases() == 0;
+  while (!queue.empty()) {
+    const AsId x = queue.back();
+    queue.pop_back();
+    for (const auto& n : adjacency_[static_cast<std::size_t>(x)]) {
+      if (n.kind == NeighborKind::kCustomer && !reached[static_cast<std::size_t>(n.as)]) {
+        reached[static_cast<std::size_t>(n.as)] = true;
+        queue.push_back(n.as);
+      }
+    }
+  }
+  return std::all_of(reached.begin(), reached.end(), [](bool r) { return r; });
+}
+
+}  // namespace ct::topo

@@ -1,0 +1,126 @@
+// AS-level Internet topology model.
+//
+// ASes form a three-tier hierarchy (tier-1 clique, transit providers,
+// stubs) connected by customer-provider and peer-peer links (the
+// Gao-Rexford economic model).  Each AS belongs to a country (which
+// belongs to a region) and carries a CAIDA-style classification
+// (content / enterprise / transit-access), both of which the paper's
+// evaluation uses: countries for censorship-leakage attribution, classes
+// for the churn-by-class null result.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ct::topo {
+
+using AsId = std::int32_t;          // dense internal index, 0..num_ases-1
+using CountryId = std::int32_t;     // dense index into the country table
+inline constexpr AsId kInvalidAs = -1;
+
+/// Position in the routing hierarchy.
+enum class AsTier : std::uint8_t { kTier1 = 0, kTransit, kStub };
+
+/// CAIDA-style business classification.
+enum class AsClass : std::uint8_t { kTransitAccess = 0, kContent, kEnterprise };
+
+/// Macro-region, used for Figure 5's regional leakage analysis.
+enum class Region : std::uint8_t {
+  kAsia = 0,
+  kEurope,
+  kMiddleEast,
+  kNorthAmerica,
+  kSouthAmerica,
+  kAfrica,
+  kOceania,
+};
+
+std::string to_string(AsTier tier);
+std::string to_string(AsClass cls);
+std::string to_string(Region region);
+
+struct Country {
+  CountryId id = 0;
+  std::string code;  // ISO-3166-alpha-2 style, e.g. "CN"
+  Region region = Region::kEurope;
+};
+
+struct AsInfo {
+  AsId id = kInvalidAs;
+  std::int32_t asn = 0;  // display AS number, e.g. 58461
+  AsTier tier = AsTier::kStub;
+  AsClass cls = AsClass::kContent;
+  CountryId country = 0;
+};
+
+/// Business relationship of a link.
+enum class LinkRelation : std::uint8_t { kCustomerProvider = 0, kPeerPeer };
+
+using LinkId = std::int32_t;
+
+struct Link {
+  LinkId id = 0;
+  /// For kCustomerProvider, `a` is the customer and `b` the provider.
+  /// For kPeerPeer the order is arbitrary.
+  AsId a = kInvalidAs;
+  AsId b = kInvalidAs;
+  LinkRelation relation = LinkRelation::kCustomerProvider;
+  /// Churn class: volatile links fail much more often than stable ones.
+  bool is_volatile = false;
+};
+
+/// Relationship of a neighbor from the perspective of one endpoint.
+enum class NeighborKind : std::uint8_t { kProvider = 0, kCustomer, kPeer };
+
+struct Neighbor {
+  AsId as = kInvalidAs;
+  NeighborKind kind = NeighborKind::kPeer;
+  LinkId link = 0;
+};
+
+/// Immutable-after-construction AS graph.  Built either directly (tests)
+/// or by generate_topology().
+class AsGraph {
+ public:
+  /// Registers a country; returns its id.  Codes must be unique.
+  CountryId add_country(std::string code, Region region);
+  /// Registers an AS; returns its id.  The country must exist.
+  AsId add_as(std::int32_t asn, AsTier tier, AsClass cls, CountryId country);
+  /// Adds a link; throws on self-links, unknown endpoints, or duplicates.
+  LinkId add_link(AsId a, AsId b, LinkRelation relation, bool is_volatile);
+
+  std::int32_t num_ases() const { return static_cast<std::int32_t>(ases_.size()); }
+  std::int32_t num_links() const { return static_cast<std::int32_t>(links_.size()); }
+  std::int32_t num_countries() const { return static_cast<std::int32_t>(countries_.size()); }
+
+  const AsInfo& as_info(AsId id) const { return ases_.at(static_cast<std::size_t>(id)); }
+  const Link& link(LinkId id) const { return links_.at(static_cast<std::size_t>(id)); }
+  const Country& country(CountryId id) const { return countries_.at(static_cast<std::size_t>(id)); }
+  const Country& country_of(AsId id) const { return country(as_info(id).country); }
+  const std::vector<Neighbor>& neighbors(AsId id) const {
+    return adjacency_.at(static_cast<std::size_t>(id));
+  }
+  const std::vector<Link>& links() const { return links_; }
+  const std::vector<AsInfo>& ases() const { return ases_; }
+  const std::vector<Country>& countries() const { return countries_; }
+
+  /// All ASes with the given tier / class.
+  std::vector<AsId> ases_with_tier(AsTier tier) const;
+  std::vector<AsId> ases_with_class(AsClass cls) const;
+
+  /// True if every AS can reach the tier-1 clique by following provider
+  /// links (the generator guarantees this; tests use it as an invariant).
+  bool provider_connected() const;
+
+ private:
+  bool has_link_between(AsId a, AsId b) const;
+
+  std::vector<AsInfo> ases_;
+  std::vector<Link> links_;
+  std::vector<Country> countries_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+};
+
+}  // namespace ct::topo

@@ -1,0 +1,52 @@
+// Synthetic AS-level topology generation.
+//
+// This substitutes for the real Internet topology the paper measured
+// over.  The generator produces a Gao-Rexford hierarchy: a fully peered
+// tier-1 clique, a transit layer attached by preferential attachment,
+// and a stub layer (content / enterprise) that homes — and with some
+// probability multihomes — into same-country transit providers.  Link
+// churn classes (stable / volatile) are assigned here and consumed by
+// the BGP churn engine.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/as_graph.h"
+#include "util/rng.h"
+
+namespace ct::topo {
+
+struct TopologyConfig {
+  std::int32_t num_ases = 400;
+  std::int32_t num_tier1 = 8;
+  std::int32_t num_transit = 80;
+  std::int32_t num_countries = 40;  // capped at the built-in country table
+  /// Skew of AS-count per country (Zipf exponent; 0 = uniform).
+  double country_skew = 1.0;
+  /// Probability a stub AS has a second (backup) provider.
+  double multihome_prob = 0.6;
+  /// Probability a transit AS has a third provider link.
+  double transit_extra_provider_prob = 0.35;
+  /// Expected number of peer links per transit AS (same-region biased).
+  double transit_peer_degree = 1.2;
+  /// Probability a provider is chosen from the same country when one
+  /// exists (geographic locality of transit markets).
+  double intra_country_bias = 0.7;
+  /// Fraction of non-tier1-clique links that are churn-volatile.
+  double volatile_link_fraction = 0.10;
+  /// Fraction of stubs classified as content (rest enterprise).
+  double content_stub_fraction = 0.55;
+};
+
+/// Builds a deterministic topology from the config and seed.
+/// Throws std::invalid_argument on inconsistent configs (e.g., more
+/// tier-1s than ASes).
+AsGraph generate_topology(const TopologyConfig& config, std::uint64_t seed);
+
+/// The built-in country table (ISO-like codes with regions), in priority
+/// order; generate_topology uses its first `num_countries` entries.
+/// Countries the paper names (CN, GB, SG, PL, CY, ...) come first so
+/// small topologies still produce paper-comparable region tables.
+const std::vector<Country>& builtin_countries();
+
+}  // namespace ct::topo

@@ -1,0 +1,32 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ct::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n == 0");
+  if (exponent < 0.0) throw std::invalid_argument("ZipfSampler: exponent < 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::size_t Rng::zipf_once(std::size_t n, double s) {
+  ZipfSampler sampler(n, s);
+  return sampler.sample(*this);
+}
+
+}  // namespace ct::util

@@ -1,0 +1,101 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ct::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  if (sorted_.empty()) throw std::logic_error("Cdf::quantile: empty CDF");
+  if (q <= 0.0 || q > 1.0) throw std::invalid_argument("Cdf::quantile: q out of (0,1]");
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size()))) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Cdf::points() const {
+  std::vector<std::pair<double, double>> out;
+  const auto n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    out.emplace_back(sorted_[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+BucketedCounts::BucketedCounts(int max_exact) {
+  if (max_exact < 0) throw std::invalid_argument("BucketedCounts: max_exact < 0");
+  counts_.assign(static_cast<std::size_t>(max_exact) + 2, 0);
+}
+
+void BucketedCounts::add(std::int64_t value, std::int64_t weight) {
+  if (value < 0) throw std::invalid_argument("BucketedCounts::add: negative value");
+  const auto idx = std::min<std::int64_t>(value, static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+std::int64_t BucketedCounts::count(int v) const {
+  if (v < 0 || v > max_exact()) throw std::out_of_range("BucketedCounts::count");
+  return counts_[static_cast<std::size_t>(v)];
+}
+
+double BucketedCounts::fraction(int v) const {
+  return total_ == 0 ? 0.0 : static_cast<double>(count(v)) / static_cast<double>(total_);
+}
+
+double BucketedCounts::overflow_fraction() const {
+  return total_ == 0 ? 0.0 : static_cast<double>(overflow()) / static_cast<double>(total_);
+}
+
+void LabelCounter::add(const std::string& key, std::int64_t weight) {
+  counts_[key] += weight;
+  total_ += weight;
+}
+
+std::int64_t LabelCounter::get(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> LabelCounter::top(std::size_t n) const {
+  std::vector<std::pair<std::string, std::int64_t>> items(counts_.begin(), counts_.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (items.size() > n) items.resize(n);
+  return items;
+}
+
+}  // namespace ct::util

@@ -1,0 +1,93 @@
+// Small statistics helpers used by the analysis/benchmark layer:
+// empirical CDFs, percentiles, histograms over small integer supports,
+// and fraction counters.  All deterministic, no hidden state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ct::util {
+
+/// Mean of a sample; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0,100]) using linear interpolation between
+/// closest ranks.  Throws std::invalid_argument on empty input or p out
+/// of range.
+double percentile(std::vector<double> xs, double p);
+
+/// Empirical CDF over a sample of doubles.  Build once, then query.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  double at(double x) const;
+  /// Smallest sample value v with P(X <= v) >= q, q in (0, 1].
+  double quantile(double q) const;
+  std::size_t size() const noexcept { return sorted_.size(); }
+  bool empty() const noexcept { return sorted_.empty(); }
+
+  /// Evaluation points for plotting: returns (x, P(X<=x)) at each distinct
+  /// sample value.
+  std::vector<std::pair<double, double>> points() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Histogram over non-negative integer values with an overflow bucket.
+/// Used for "number of distinct paths: 1,2,3,4,5+" style figures.
+class BucketedCounts {
+ public:
+  /// Buckets are 0..max_exact, plus one overflow bucket for > max_exact.
+  explicit BucketedCounts(int max_exact);
+
+  void add(std::int64_t value, std::int64_t weight = 1);
+  std::int64_t total() const noexcept { return total_; }
+  /// Count in bucket v (0..max_exact); overflow() for the "N+" bucket.
+  std::int64_t count(int v) const;
+  std::int64_t overflow() const noexcept { return counts_.back(); }
+  /// Fraction of total in bucket v; 0 if no samples.
+  double fraction(int v) const;
+  double overflow_fraction() const;
+  int max_exact() const noexcept { return static_cast<int>(counts_.size()) - 2; }
+
+ private:
+  std::vector<std::int64_t> counts_;  // [0..max_exact] + overflow
+  std::int64_t total_ = 0;
+};
+
+/// Ratio counter with pretty-printing: hits / total.
+struct Fraction {
+  std::int64_t hits = 0;
+  std::int64_t total = 0;
+
+  void add(bool hit) {
+    ++total;
+    hits += hit ? 1 : 0;
+  }
+  double value() const { return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total); }
+  double percent() const { return 100.0 * value(); }
+};
+
+/// Counter keyed by string label (e.g., per-country, per-anomaly tallies),
+/// with deterministic (sorted) iteration.
+class LabelCounter {
+ public:
+  void add(const std::string& key, std::int64_t weight = 1);
+  std::int64_t get(const std::string& key) const;
+  std::int64_t total() const noexcept { return total_; }
+  /// Pairs sorted by descending count, ties broken by key.
+  std::vector<std::pair<std::string, std::int64_t>> top(std::size_t n) const;
+  const std::map<std::string, std::int64_t>& items() const noexcept { return counts_; }
+
+ private:
+  std::map<std::string, std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace ct::util

@@ -1,0 +1,98 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace ct::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == '%' || c == ',' || c == 'e' || c == 'E')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::add_row: wrong number of cells");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n";
+
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = widths[c] - row[c].size();
+      const bool right = align_numeric && looks_numeric(row[c]);
+      if (c) out << "  ";
+      if (right) out << std::string(pad, ' ') << row[c];
+      else out << row[c] << std::string(pad, ' ');
+    }
+    out << "\n";
+  };
+
+  emit(header_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row, true);
+  return out.str();
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction01, int decimals) {
+  return fmt(100.0 * fraction01, decimals) + "%";
+}
+
+std::string fmt_count(long long value) {
+  const bool neg = value < 0;
+  unsigned long long v = neg ? static_cast<unsigned long long>(-(value + 1)) + 1
+                             : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(v);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ct::util

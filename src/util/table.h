@@ -1,0 +1,37 @@
+// Plain-text table rendering for benchmark output.  Every bench binary
+// prints the rows/series of a paper table or figure; TextTable keeps the
+// formatting consistent and readable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ct::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with a title line, aligned columns, and a separator under the
+  /// header.  Numeric-looking cells are right-aligned.
+  std::string render(const std::string& title = "") const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.3f"-style without iostream fuss).
+std::string fmt(double value, int decimals = 3);
+/// Percentage with a trailing '%'.
+std::string fmt_pct(double fraction01, int decimals = 1);
+/// Thousands-separated integer, e.g. 4,900,000.
+std::string fmt_count(long long value);
+
+}  // namespace ct::util

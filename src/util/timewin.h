@@ -1,0 +1,70 @@
+// Time-window arithmetic for the paper's four CNF granularities.
+//
+// The simulation clock is an integer day index (0-based) within a
+// simulated year of kDaysPerYear days.  The paper builds one CNF per
+// (URL, anomaly, window) at day, week, month, and year granularity; a
+// window id identifies a concrete window at a given granularity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ct::util {
+
+using Day = std::int32_t;
+
+inline constexpr Day kDaysPerWeek = 7;
+inline constexpr Day kDaysPerMonth = 28;   // simulation months are 4 weeks
+inline constexpr Day kDaysPerYear = 364;   // 52 weeks / 13 months exactly
+
+enum class Granularity : std::uint8_t { kDay = 0, kWeek, kMonth, kYear };
+
+inline constexpr std::array<Granularity, 4> kAllGranularities{
+    Granularity::kDay, Granularity::kWeek, Granularity::kMonth,
+    Granularity::kYear};
+
+constexpr std::string_view to_string(Granularity g) {
+  switch (g) {
+    case Granularity::kDay: return "day";
+    case Granularity::kWeek: return "week";
+    case Granularity::kMonth: return "month";
+    case Granularity::kYear: return "year";
+  }
+  return "?";
+}
+
+constexpr Day window_length(Granularity g) {
+  switch (g) {
+    case Granularity::kDay: return 1;
+    case Granularity::kWeek: return kDaysPerWeek;
+    case Granularity::kMonth: return kDaysPerMonth;
+    case Granularity::kYear: return kDaysPerYear;
+  }
+  return 1;
+}
+
+/// Window index of `day` at granularity `g` (0-based).
+constexpr std::int32_t window_of(Day day, Granularity g) {
+  return day / window_length(g);
+}
+
+/// Number of windows at granularity g within `days` simulated days.
+constexpr std::int32_t window_count(Day days, Granularity g) {
+  const Day len = window_length(g);
+  return (days + len - 1) / len;
+}
+
+/// First day of window w at granularity g.
+constexpr Day window_start(std::int32_t w, Granularity g) {
+  return w * window_length(g);
+}
+
+/// Human-readable window label, e.g. "week 12" or "day 250".
+inline std::string window_label(std::int32_t w, Granularity g) {
+  return std::string(to_string(g)) + " " + std::to_string(w);
+}
+
+}  // namespace ct::util

@@ -1,0 +1,110 @@
+#include "analysis/churn_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace ct::analysis {
+namespace {
+
+topo::AsGraph tiny_graph() {
+  topo::TopologyConfig cfg;
+  cfg.num_ases = 30;
+  cfg.num_tier1 = 2;
+  cfg.num_transit = 6;
+  cfg.num_countries = 4;
+  return topo::generate_topology(cfg, 2);
+}
+
+TEST(PathChurnTracker, CountsDistinctPathsPerWindow) {
+  const auto g = tiny_graph();
+  const std::vector<topo::AsId> vps{10};
+  const std::vector<topo::AsId> dests{20};
+  // 14 days, 1 epoch each.
+  PathChurnTracker tracker(g, vps, dests, 14, 1);
+  // Week 0: path A all days.  Week 1: alternates A/B.
+  const std::vector<topo::AsId> path_a{10, 5, 20};
+  const std::vector<topo::AsId> path_b{10, 6, 20};
+  for (util::Day d = 0; d < 7; ++d) tracker.on_path(d, 0, 10, 20, path_a);
+  for (util::Day d = 7; d < 14; ++d) tracker.on_path(d, 0, 10, 20, d % 2 ? path_a : path_b);
+
+  const ChurnStats stats = tracker.compute();
+  // Day windows: 14 samples, all with exactly 1 path.
+  const auto& day = stats.distinct_paths.at(util::Granularity::kDay);
+  EXPECT_EQ(day.total(), 14);
+  EXPECT_EQ(day.count(1), 14);
+  EXPECT_DOUBLE_EQ(stats.changed_fraction.at(util::Granularity::kDay), 0.0);
+  // Week windows: week 0 has 1 distinct, week 1 has 2.
+  const auto& week = stats.distinct_paths.at(util::Granularity::kWeek);
+  EXPECT_EQ(week.total(), 2);
+  EXPECT_EQ(week.count(1), 1);
+  EXPECT_EQ(week.count(2), 1);
+  EXPECT_DOUBLE_EQ(stats.changed_fraction.at(util::Granularity::kWeek), 0.5);
+  EXPECT_EQ(tracker.distinct_paths_of_pair(10, 20), 2);
+}
+
+TEST(PathChurnTracker, IntradayChurnVisibleWithEpochs) {
+  const auto g = tiny_graph();
+  PathChurnTracker tracker(g, {10}, {20}, 1, 3);
+  tracker.on_path(0, 0, 10, 20, {10, 5, 20});
+  tracker.on_path(0, 1, 10, 20, {10, 6, 20});
+  tracker.on_path(0, 2, 10, 20, {10, 5, 20});
+  const ChurnStats stats = tracker.compute();
+  EXPECT_DOUBLE_EQ(stats.changed_fraction.at(util::Granularity::kDay), 1.0);
+  EXPECT_EQ(stats.distinct_paths.at(util::Granularity::kDay).count(2), 1);
+}
+
+TEST(PathChurnTracker, UnreachableEpochsSkipped) {
+  const auto g = tiny_graph();
+  PathChurnTracker tracker(g, {10}, {20}, 2, 1);
+  tracker.on_path(0, 0, 10, 20, {});  // unreachable
+  tracker.on_path(1, 0, 10, 20, {10, 5, 20});
+  const ChurnStats stats = tracker.compute();
+  // Day 0 has no observation: only one day sample.
+  EXPECT_EQ(stats.distinct_paths.at(util::Granularity::kDay).total(), 1);
+  EXPECT_EQ(tracker.distinct_paths_of_pair(10, 20), 1);
+}
+
+TEST(PathChurnTracker, UnknownPairsIgnored) {
+  const auto g = tiny_graph();
+  PathChurnTracker tracker(g, {10}, {20}, 1, 1);
+  tracker.on_path(0, 0, 11, 20, {11, 20});  // unknown vantage
+  tracker.on_path(0, 0, 10, 21, {10, 21});  // unknown dest
+  EXPECT_EQ(tracker.distinct_paths_of_pair(10, 20), 0);
+  EXPECT_EQ(tracker.distinct_paths_of_pair(11, 20), 0);
+}
+
+TEST(PathChurnTracker, OutOfRangeSlotsIgnored) {
+  const auto g = tiny_graph();
+  PathChurnTracker tracker(g, {10}, {20}, 1, 1);
+  tracker.on_path(5, 0, 10, 20, {10, 20});   // day out of range
+  tracker.on_path(0, 3, 10, 20, {10, 20});   // epoch out of range
+  EXPECT_EQ(tracker.distinct_paths_of_pair(10, 20), 0);
+}
+
+TEST(PathChurnTracker, ChurnByDestClass) {
+  const auto g = tiny_graph();
+  // Pick two stub dests of different classes if available; fall back to
+  // same class (the test then only checks totals).
+  const auto stubs = g.ases_with_tier(topo::AsTier::kStub);
+  ASSERT_GE(stubs.size(), 2u);
+  const topo::AsId d1 = stubs[0], d2 = stubs[1];
+  PathChurnTracker tracker(g, {10}, {d1, d2}, 2, 1);
+  // d1: stable path; d2: changes.
+  tracker.on_path(0, 0, 10, d1, {10, d1});
+  tracker.on_path(1, 0, 10, d1, {10, d1});
+  tracker.on_path(0, 0, 10, d2, {10, d2});
+  tracker.on_path(1, 0, 10, d2, {10, 5, d2});
+  const ChurnStats stats = tracker.compute();
+  double sum = 0.0;
+  std::int64_t classes = 0;
+  for (const auto& [cls, frac] : stats.changed_by_dest_class) {
+    sum += frac;
+    ++classes;
+  }
+  ASSERT_GE(classes, 1);
+  EXPECT_GT(sum, 0.0);  // at least one class saw churn
+}
+
+}  // namespace
+}  // namespace ct::analysis

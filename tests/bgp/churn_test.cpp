@@ -1,0 +1,131 @@
+#include "bgp/churn.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace ct::bgp {
+namespace {
+
+topo::AsGraph test_graph(double volatile_fraction = 0.5) {
+  topo::TopologyConfig cfg;
+  cfg.num_ases = 120;
+  cfg.num_tier1 = 4;
+  cfg.num_transit = 24;
+  cfg.num_countries = 10;
+  cfg.volatile_link_fraction = volatile_fraction;
+  return topo::generate_topology(cfg, 5);
+}
+
+TEST(Churn, StartsAllUp) {
+  const auto g = test_graph();
+  ChurnEngine engine(g, ChurnConfig{}, 1);
+  EXPECT_EQ(engine.epoch(), 0);
+  EXPECT_EQ(engine.links_down(), 0);
+  for (const bool up : engine.link_up()) EXPECT_TRUE(up);
+}
+
+TEST(Churn, Deterministic) {
+  const auto g = test_graph();
+  ChurnEngine a(g, ChurnConfig{}, 99);
+  ChurnEngine b(g, ChurnConfig{}, 99);
+  for (int i = 0; i < 50; ++i) {
+    a.advance();
+    b.advance();
+    EXPECT_EQ(a.link_up(), b.link_up());
+  }
+}
+
+TEST(Churn, SeedsDiffer) {
+  const auto g = test_graph();
+  ChurnEngine a(g, ChurnConfig{}, 1);
+  ChurnEngine b(g, ChurnConfig{}, 2);
+  int diffs = 0;
+  for (int i = 0; i < 30; ++i) {
+    a.advance();
+    b.advance();
+    if (a.link_up() != b.link_up()) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Churn, ZeroProbabilitiesFreezeEverything) {
+  const auto g = test_graph();
+  ChurnConfig cfg;
+  cfg.volatile_fail_prob = 0.0;
+  cfg.stable_fail_prob = 0.0;
+  ChurnEngine engine(g, cfg, 3);
+  for (int i = 0; i < 100; ++i) engine.advance();
+  EXPECT_EQ(engine.links_down(), 0);
+  EXPECT_EQ(engine.total_failures(), 0);
+}
+
+TEST(Churn, DownCountMatchesLinkState) {
+  const auto g = test_graph();
+  ChurnConfig cfg;
+  cfg.volatile_fail_prob = 0.3;
+  cfg.stable_fail_prob = 0.05;
+  cfg.repair_prob = 0.3;
+  ChurnEngine engine(g, cfg, 7);
+  for (int i = 0; i < 40; ++i) {
+    engine.advance();
+    std::int32_t down = 0;
+    for (const bool up : engine.link_up()) down += up ? 0 : 1;
+    ASSERT_EQ(down, engine.links_down());
+  }
+  EXPECT_GT(engine.total_failures(), 0);
+}
+
+TEST(Churn, SteadyStateDownFractionMatchesTheory) {
+  // With fail prob f and repair prob r, the stationary down fraction of
+  // a link is f / (f + r).
+  const auto g = test_graph(/*volatile_fraction=*/1.0);
+  ChurnConfig cfg;
+  cfg.volatile_fail_prob = 0.2;
+  cfg.stable_fail_prob = 0.2;  // all links behave identically
+  cfg.repair_prob = 0.6;
+  ChurnEngine engine(g, cfg, 11);
+  double down_sum = 0.0;
+  const int warmup = 50;
+  const int samples = 400;
+  for (int i = 0; i < warmup; ++i) engine.advance();
+  for (int i = 0; i < samples; ++i) {
+    engine.advance();
+    down_sum += static_cast<double>(engine.links_down()) / g.num_links();
+  }
+  EXPECT_NEAR(down_sum / samples, 0.2 / 0.8, 0.03);
+}
+
+TEST(Churn, VolatileLinksFailMoreOften) {
+  const auto g = test_graph(0.5);
+  ChurnConfig cfg;  // defaults: volatile >> stable
+  ChurnEngine engine(g, cfg, 13);
+  std::vector<int> failures(static_cast<std::size_t>(g.num_links()), 0);
+  std::vector<bool> prev(engine.link_up());
+  for (int i = 0; i < 300; ++i) {
+    engine.advance();
+    for (std::size_t l = 0; l < prev.size(); ++l) {
+      if (prev[l] && !engine.link_up()[l]) ++failures[l];
+    }
+    prev = engine.link_up();
+  }
+  std::int64_t volatile_failures = 0, volatile_links = 0;
+  std::int64_t stable_failures = 0, stable_links = 0;
+  for (const auto& link : g.links()) {
+    if (link.is_volatile) {
+      ++volatile_links;
+      volatile_failures += failures[static_cast<std::size_t>(link.id)];
+    } else {
+      ++stable_links;
+      stable_failures += failures[static_cast<std::size_t>(link.id)];
+    }
+  }
+  ASSERT_GT(volatile_links, 0);
+  ASSERT_GT(stable_links, 0);
+  const double volatile_rate = static_cast<double>(volatile_failures) / volatile_links;
+  const double stable_rate = static_cast<double>(stable_failures) / stable_links;
+  EXPECT_GT(volatile_rate, stable_rate * 10);
+}
+
+}  // namespace
+}  // namespace ct::bgp

@@ -1,0 +1,154 @@
+// Focused Gao-Rexford policy tests: preference ordering and
+// deterministic tie-breaking on purpose-built micro-topologies.
+#include <gtest/gtest.h>
+
+#include "bgp/routing.h"
+
+namespace ct::bgp {
+namespace {
+
+using topo::AsGraph;
+using topo::AsId;
+using topo::AsClass;
+using topo::AsTier;
+using topo::LinkRelation;
+using topo::Region;
+
+AsId add(AsGraph& g, AsTier tier) {
+  static std::int32_t asn = 1000;
+  return g.add_as(asn++, tier, AsClass::kTransitAccess, 0);
+}
+
+TEST(RoutingPolicy, CustomerBeatsShorterPeer) {
+  // X has a 3-hop customer route and a 2-hop peer route to D; it must
+  // pick the customer route.
+  AsGraph g;
+  g.add_country("CN", Region::kAsia);
+  const AsId x = add(g, AsTier::kTransit);
+  const AsId c1 = add(g, AsTier::kTransit);
+  const AsId c2 = add(g, AsTier::kTransit);
+  const AsId d = add(g, AsTier::kStub);
+  const AsId p = add(g, AsTier::kTransit);
+  g.add_link(c1, x, LinkRelation::kCustomerProvider, false);   // c1 cust of x
+  g.add_link(c2, c1, LinkRelation::kCustomerProvider, false);  // c2 cust of c1
+  g.add_link(d, c2, LinkRelation::kCustomerProvider, false);   // d cust of c2
+  g.add_link(x, p, LinkRelation::kPeerPeer, false);            // x peers p
+  g.add_link(d, p, LinkRelation::kCustomerProvider, false);    // d cust of p
+  const RouteComputer rc(g);
+  const RouteTable t = rc.compute(d);
+  EXPECT_EQ(t.kind(x), RouteKind::kCustomer);
+  EXPECT_EQ(t.path(x), (std::vector<AsId>{x, c1, c2, d}));
+  EXPECT_EQ(t.path_length(x), 3);
+}
+
+TEST(RoutingPolicy, PeerBeatsShorterProvider) {
+  // X has a 2-hop peer route and a (shorter would be impossible; build
+  // equal-length) provider route; peer must win regardless of length.
+  AsGraph g;
+  g.add_country("CN", Region::kAsia);
+  const AsId x = add(g, AsTier::kTransit);
+  const AsId peer = add(g, AsTier::kTransit);
+  const AsId prov = add(g, AsTier::kTransit);
+  const AsId d = add(g, AsTier::kStub);
+  g.add_link(x, prov, LinkRelation::kCustomerProvider, false);  // x cust of prov
+  g.add_link(x, peer, LinkRelation::kPeerPeer, false);
+  g.add_link(d, peer, LinkRelation::kCustomerProvider, false);  // d cust of peer
+  g.add_link(d, prov, LinkRelation::kCustomerProvider, false);  // d cust of prov
+  const RouteComputer rc(g);
+  const RouteTable t = rc.compute(d);
+  EXPECT_EQ(t.kind(x), RouteKind::kPeer);
+  EXPECT_EQ(t.path(x), (std::vector<AsId>{x, peer, d}));
+}
+
+TEST(RoutingPolicy, ShorterCustomerRouteWinsWithinClass) {
+  AsGraph g;
+  g.add_country("CN", Region::kAsia);
+  const AsId x = add(g, AsTier::kTransit);
+  const AsId long1 = add(g, AsTier::kTransit);
+  const AsId long2 = add(g, AsTier::kTransit);
+  const AsId short1 = add(g, AsTier::kTransit);
+  const AsId d = add(g, AsTier::kStub);
+  g.add_link(long1, x, LinkRelation::kCustomerProvider, false);
+  g.add_link(long2, long1, LinkRelation::kCustomerProvider, false);
+  g.add_link(short1, x, LinkRelation::kCustomerProvider, false);
+  g.add_link(d, long2, LinkRelation::kCustomerProvider, false);
+  g.add_link(d, short1, LinkRelation::kCustomerProvider, false);
+  const RouteComputer rc(g);
+  const RouteTable t = rc.compute(d);
+  EXPECT_EQ(t.path(x), (std::vector<AsId>{x, short1, d}));
+}
+
+TEST(RoutingPolicy, EqualLengthTieBreaksToLowestNextHop) {
+  AsGraph g;
+  g.add_country("CN", Region::kAsia);
+  const AsId x = add(g, AsTier::kTransit);     // id 0
+  const AsId via_a = add(g, AsTier::kTransit); // id 1
+  const AsId via_b = add(g, AsTier::kTransit); // id 2
+  const AsId d = add(g, AsTier::kStub);        // id 3
+  g.add_link(via_a, x, LinkRelation::kCustomerProvider, false);
+  g.add_link(via_b, x, LinkRelation::kCustomerProvider, false);
+  g.add_link(d, via_a, LinkRelation::kCustomerProvider, false);
+  g.add_link(d, via_b, LinkRelation::kCustomerProvider, false);
+  const RouteComputer rc(g);
+  const RouteTable t = rc.compute(d);
+  ASSERT_LT(via_a, via_b);
+  EXPECT_EQ(t.path(x), (std::vector<AsId>{x, via_a, d}));
+  // Determinism: recomputation gives the same choice.
+  EXPECT_EQ(rc.compute(d).path(x), t.path(x));
+}
+
+TEST(RoutingPolicy, NoValleyThroughPeers) {
+  // D is only reachable from X via peer(X)->peer(D's provider): that
+  // would be peer->peer, which valley-free routing forbids; X must be
+  // unreachable.
+  AsGraph g;
+  g.add_country("CN", Region::kAsia);
+  const AsId x = add(g, AsTier::kTransit);
+  const AsId m = add(g, AsTier::kTransit);
+  const AsId n = add(g, AsTier::kTransit);
+  const AsId d = add(g, AsTier::kStub);
+  g.add_link(x, m, LinkRelation::kPeerPeer, false);
+  g.add_link(m, n, LinkRelation::kPeerPeer, false);
+  g.add_link(d, n, LinkRelation::kCustomerProvider, false);
+  const RouteComputer rc(g);
+  const RouteTable t = rc.compute(d);
+  EXPECT_TRUE(t.reachable(m));   // one peer hop is fine
+  EXPECT_FALSE(t.reachable(x));  // two peer hops would be a valley
+}
+
+TEST(RoutingPolicy, NoExportOfProviderRouteToPeer) {
+  // M learns D via its provider; M must NOT export it to peer X.
+  AsGraph g;
+  g.add_country("CN", Region::kAsia);
+  const AsId x = add(g, AsTier::kTransit);
+  const AsId m = add(g, AsTier::kTransit);
+  const AsId p = add(g, AsTier::kTransit);
+  const AsId d = add(g, AsTier::kStub);
+  g.add_link(m, p, LinkRelation::kCustomerProvider, false);  // m cust of p
+  g.add_link(d, p, LinkRelation::kCustomerProvider, false);  // d cust of p
+  g.add_link(x, m, LinkRelation::kPeerPeer, false);
+  const RouteComputer rc(g);
+  const RouteTable t = rc.compute(d);
+  EXPECT_EQ(t.kind(m), RouteKind::kProvider);
+  EXPECT_FALSE(t.reachable(x));
+}
+
+TEST(RoutingPolicy, ProviderChainsDescend) {
+  // Provider routes propagate down through multiple customer levels.
+  AsGraph g;
+  g.add_country("CN", Region::kAsia);
+  const AsId top = add(g, AsTier::kTier1);
+  const AsId mid = add(g, AsTier::kTransit);
+  const AsId leaf = add(g, AsTier::kStub);
+  const AsId d = add(g, AsTier::kStub);
+  g.add_link(mid, top, LinkRelation::kCustomerProvider, false);
+  g.add_link(leaf, mid, LinkRelation::kCustomerProvider, false);
+  g.add_link(d, top, LinkRelation::kCustomerProvider, false);
+  const RouteComputer rc(g);
+  const RouteTable t = rc.compute(d);
+  EXPECT_EQ(t.kind(leaf), RouteKind::kProvider);
+  EXPECT_EQ(t.path(leaf), (std::vector<AsId>{leaf, mid, top, d}));
+}
+
+}  // namespace
+}  // namespace ct::bgp

@@ -1,0 +1,196 @@
+#include "censor/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topo/generator.h"
+
+namespace ct::censor {
+namespace {
+
+CensorPolicy policy(topo::AsId as, UrlCategory cat, Anomaly anomaly,
+                    util::Day from = 0, util::Day to = util::kDaysPerYear) {
+  CensorPolicy p;
+  p.censor = as;
+  p.categories = {cat};
+  p.anomalies = {anomaly};
+  p.active_from = from;
+  p.active_to = to;
+  return p;
+}
+
+TEST(CensorRegistry, ValidatesPolicies) {
+  EXPECT_THROW(CensorRegistry(2, {policy(5, UrlCategory::kNews, Anomaly::kDns)}),
+               std::invalid_argument);
+  CensorPolicy empty_cat = policy(0, UrlCategory::kNews, Anomaly::kDns);
+  empty_cat.categories.clear();
+  EXPECT_THROW(CensorRegistry(2, {empty_cat}), std::invalid_argument);
+  CensorPolicy empty_anomaly = policy(0, UrlCategory::kNews, Anomaly::kDns);
+  empty_anomaly.anomalies.clear();
+  EXPECT_THROW(CensorRegistry(2, {empty_anomaly}), std::invalid_argument);
+  EXPECT_THROW(CensorRegistry(2, {policy(0, UrlCategory::kNews, Anomaly::kDns, 10, 10)}),
+               std::invalid_argument);
+}
+
+TEST(CensorRegistry, AppliesMatchesAllDimensions) {
+  CensorRegistry reg(3, {policy(1, UrlCategory::kNews, Anomaly::kDns, 10, 20)});
+  EXPECT_TRUE(reg.applies(1, UrlCategory::kNews, Anomaly::kDns, 10));
+  EXPECT_TRUE(reg.applies(1, UrlCategory::kNews, Anomaly::kDns, 19));
+  EXPECT_FALSE(reg.applies(1, UrlCategory::kNews, Anomaly::kDns, 9));    // before
+  EXPECT_FALSE(reg.applies(1, UrlCategory::kNews, Anomaly::kDns, 20));   // after
+  EXPECT_FALSE(reg.applies(1, UrlCategory::kAds, Anomaly::kDns, 15));    // category
+  EXPECT_FALSE(reg.applies(1, UrlCategory::kNews, Anomaly::kRst, 15));   // anomaly
+  EXPECT_FALSE(reg.applies(2, UrlCategory::kNews, Anomaly::kDns, 15));   // other AS
+  EXPECT_FALSE(reg.applies(-1, UrlCategory::kNews, Anomaly::kDns, 15));  // bogus AS
+}
+
+TEST(CensorRegistry, PathQueries) {
+  CensorRegistry reg(5, {policy(2, UrlCategory::kNews, Anomaly::kDns),
+                         policy(3, UrlCategory::kNews, Anomaly::kDns)});
+  const std::vector<topo::AsId> path{0, 1, 2, 3, 4};
+  EXPECT_TRUE(reg.path_censored(path, UrlCategory::kNews, Anomaly::kDns, 0));
+  EXPECT_EQ(reg.first_censor_on_path(path, UrlCategory::kNews, Anomaly::kDns, 0), 2);
+  EXPECT_FALSE(reg.path_censored(path, UrlCategory::kAds, Anomaly::kDns, 0));
+  EXPECT_EQ(reg.first_censor_on_path(path, UrlCategory::kAds, Anomaly::kDns, 0),
+            topo::kInvalidAs);
+  const std::vector<topo::AsId> clean{0, 1, 4};
+  EXPECT_FALSE(reg.path_censored(clean, UrlCategory::kNews, Anomaly::kDns, 0));
+}
+
+TEST(CensorRegistry, CensorAsesAndAnomalies) {
+  CensorRegistry reg(6, {policy(2, UrlCategory::kNews, Anomaly::kDns),
+                         policy(2, UrlCategory::kAds, Anomaly::kTtl),
+                         policy(4, UrlCategory::kNews, Anomaly::kRst)});
+  EXPECT_EQ(reg.censor_ases(), (std::vector<topo::AsId>{2, 4}));
+  EXPECT_TRUE(reg.is_censor(2));
+  EXPECT_FALSE(reg.is_censor(3));
+  EXPECT_FALSE(reg.is_censor(-1));
+  EXPECT_EQ(reg.anomalies_of(2), (std::vector<Anomaly>{Anomaly::kDns, Anomaly::kTtl}));
+  EXPECT_TRUE(reg.anomalies_of(3).empty());
+}
+
+TEST(CensorRegistry, PolicyScheduleChange) {
+  // Same censor, DNS before day 100, RST after.
+  CensorRegistry reg(2, {policy(1, UrlCategory::kNews, Anomaly::kDns, 0, 100),
+                         policy(1, UrlCategory::kNews, Anomaly::kRst, 100)});
+  EXPECT_TRUE(reg.applies(1, UrlCategory::kNews, Anomaly::kDns, 50));
+  EXPECT_FALSE(reg.applies(1, UrlCategory::kNews, Anomaly::kDns, 150));
+  EXPECT_FALSE(reg.applies(1, UrlCategory::kNews, Anomaly::kRst, 50));
+  EXPECT_TRUE(reg.applies(1, UrlCategory::kNews, Anomaly::kRst, 150));
+}
+
+topo::AsGraph test_graph() {
+  topo::TopologyConfig cfg;
+  cfg.num_ases = 200;
+  cfg.num_tier1 = 5;
+  cfg.num_transit = 40;
+  cfg.num_countries = 30;
+  return topo::generate_topology(cfg, 77);
+}
+
+TEST(GenerateCensors, Deterministic) {
+  const auto g = test_graph();
+  CensorConfig cfg;
+  cfg.num_censors = 20;
+  const auto a = generate_censors(g, cfg, 5).censor_ases();
+  const auto b = generate_censors(g, cfg, 5).censor_ases();
+  EXPECT_EQ(a, b);
+  const auto c = generate_censors(g, cfg, 6).censor_ases();
+  EXPECT_NE(a, c);
+}
+
+TEST(GenerateCensors, PlacesRequestedCount) {
+  const auto g = test_graph();
+  CensorConfig cfg;
+  cfg.num_censors = 20;
+  const auto reg = generate_censors(g, cfg, 11);
+  EXPECT_EQ(reg.censor_ases().size(), 20u);
+}
+
+TEST(GenerateCensors, ZeroCensors) {
+  const auto g = test_graph();
+  CensorConfig cfg;
+  cfg.num_censors = 0;
+  EXPECT_TRUE(generate_censors(g, cfg, 1).censor_ases().empty());
+}
+
+TEST(GenerateCensors, RejectsNegativeCount) {
+  const auto g = test_graph();
+  CensorConfig cfg;
+  cfg.num_censors = -1;
+  EXPECT_THROW(generate_censors(g, cfg, 1), std::invalid_argument);
+}
+
+TEST(GenerateCensors, RespectsStubPool) {
+  const auto g = test_graph();
+  CensorConfig cfg;
+  cfg.num_censors = 15;
+  cfg.transit_censor_fraction = 0.0;  // all censors from the stub pool
+  const auto stubs = g.ases_with_tier(topo::AsTier::kStub);
+  cfg.stub_censor_pool.assign(stubs.begin(), stubs.begin() + 10);
+  const auto reg = generate_censors(g, cfg, 13);
+  for (const auto as : reg.censor_ases()) {
+    EXPECT_NE(std::find(cfg.stub_censor_pool.begin(), cfg.stub_censor_pool.end(), as),
+              cfg.stub_censor_pool.end());
+  }
+  // The pool only has 10 candidates.
+  EXPECT_LE(reg.censor_ases().size(), 10u);
+}
+
+TEST(GenerateCensors, CountryWeightsBiasPlacement) {
+  const auto g = test_graph();
+  CensorConfig cfg;
+  cfg.num_censors = 30;
+  cfg.country_weights = {{"CN", 1.0}};
+  cfg.weighted_country_prob = 1.0;
+  const auto reg = generate_censors(g, cfg, 17);
+  std::int64_t in_cn = 0;
+  for (const auto as : reg.censor_ases()) {
+    in_cn += g.country_of(as).code == "CN" ? 1 : 0;
+  }
+  // Every censor that could be placed in CN should be there; allow the
+  // fallback path for exhausted pools.
+  EXPECT_GT(in_cn, static_cast<std::int64_t>(reg.censor_ases().size()) / 2);
+}
+
+TEST(GenerateCensors, PolicyChangeSplitsSchedule) {
+  const auto g = test_graph();
+  CensorConfig cfg;
+  cfg.num_censors = 30;
+  cfg.policy_change_prob = 1.0;
+  const auto reg = generate_censors(g, cfg, 19);
+  // Every censor has exactly two policies covering the whole year.
+  for (const auto as : reg.censor_ases()) {
+    std::vector<const CensorPolicy*> policies;
+    for (const auto& p : reg.policies()) {
+      if (p.censor == as) policies.push_back(&p);
+    }
+    ASSERT_EQ(policies.size(), 2u);
+    EXPECT_EQ(policies[0]->active_from, 0);
+    EXPECT_EQ(policies[0]->active_to, policies[1]->active_from);
+    EXPECT_EQ(policies[1]->active_to, util::kDaysPerYear);
+  }
+}
+
+TEST(Anomaly, Labels) {
+  EXPECT_EQ(to_string(Anomaly::kDns), "DNS");
+  EXPECT_EQ(short_label(Anomaly::kBlockpage), "block");
+  EXPECT_EQ(to_string(UrlCategory::kShopping), "Online Shopping");
+  std::set<std::string> labels;
+  for (const Anomaly a : kAllAnomalies) labels.insert(short_label(a));
+  EXPECT_EQ(labels.size(), kNumAnomalies);
+}
+
+TEST(DetectorNoise, RstIsNoisiest) {
+  const DetectorNoise noise;
+  for (const Anomaly a : kAllAnomalies) {
+    if (a == Anomaly::kRst) continue;
+    EXPECT_GT(noise.fp(Anomaly::kRst), noise.fp(a));
+    EXPECT_GT(noise.fn(Anomaly::kRst), noise.fn(a));
+  }
+}
+
+}  // namespace
+}  // namespace ct::censor

@@ -1,0 +1,259 @@
+#include "iclab/platform.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "topo/generator.h"
+
+namespace ct::iclab {
+namespace {
+
+struct TestWorld {
+  topo::AsGraph graph;
+  censor::CensorRegistry registry;
+  net::AddressPlan plan;
+  PlatformConfig config;
+
+  static topo::AsGraph make_graph() {
+    topo::TopologyConfig cfg;
+    cfg.num_ases = 100;
+    cfg.num_tier1 = 4;
+    cfg.num_transit = 20;
+    cfg.num_countries = 12;
+    return topo::generate_topology(cfg, 21);
+  }
+
+  explicit TestWorld(std::int32_t num_censors = 5)
+      : graph(make_graph()),
+        registry(censor::generate_censors(graph,
+                                          [&] {
+                                            censor::CensorConfig c;
+                                            c.num_censors = num_censors;
+                                            return c;
+                                          }(),
+                                          21)),
+        plan(net::allocate_prefixes(graph, net::AddressPlanConfig{})) {
+    config.num_vantages = 8;
+    config.num_urls = 12;
+    config.num_dest_ases = 6;
+    config.test_prob = 0.5;
+    config.num_days = 7;
+    config.epochs_per_day = 2;
+  }
+};
+
+class CollectingSink : public MeasurementSink {
+ public:
+  void on_measurement(const Measurement& m) override { measurements.push_back(m); }
+  void on_path(util::Day day, std::int32_t epoch, topo::AsId vantage, topo::AsId dest,
+               const std::vector<topo::AsId>& path) override {
+    ++path_calls;
+    last_day = day;
+    last_epoch = epoch;
+    if (!path.empty()) {
+      EXPECT_EQ(path.front(), vantage);
+      EXPECT_EQ(path.back(), dest);
+    }
+  }
+  void on_day_start(util::Day day) override { days.push_back(day); }
+
+  std::vector<Measurement> measurements;
+  std::vector<util::Day> days;
+  std::int64_t path_calls = 0;
+  util::Day last_day = -1;
+  std::int32_t last_epoch = -1;
+};
+
+TEST(Endpoints, Deterministic) {
+  TestWorld w;
+  const Endpoints a = choose_endpoints(w.graph, w.config, 3);
+  const Endpoints b = choose_endpoints(w.graph, w.config, 3);
+  EXPECT_EQ(a.vantages, b.vantages);
+  EXPECT_EQ(a.dest_ases, b.dest_ases);
+  ASSERT_EQ(a.urls.size(), b.urls.size());
+  for (std::size_t i = 0; i < a.urls.size(); ++i) {
+    EXPECT_EQ(a.urls[i].name, b.urls[i].name);
+    EXPECT_EQ(a.urls[i].category, b.urls[i].category);
+    EXPECT_EQ(a.urls[i].dest_as, b.urls[i].dest_as);
+  }
+}
+
+TEST(Endpoints, RespectsCounts) {
+  TestWorld w;
+  const Endpoints e = choose_endpoints(w.graph, w.config, 3);
+  EXPECT_EQ(e.vantages.size(), 8u);
+  EXPECT_EQ(e.dest_ases.size(), 6u);
+  EXPECT_EQ(e.urls.size(), 12u);
+  // URLs map onto destination ASes.
+  for (const auto& url : e.urls) {
+    EXPECT_NE(std::find(e.dest_ases.begin(), e.dest_ases.end(), url.dest_as),
+              e.dest_ases.end());
+  }
+  // Vantages and destinations are disjoint stub ASes.
+  for (const auto vp : e.vantages) {
+    EXPECT_EQ(w.graph.as_info(vp).tier, topo::AsTier::kStub);
+    EXPECT_EQ(std::find(e.dest_ases.begin(), e.dest_ases.end(), vp), e.dest_ases.end());
+  }
+}
+
+TEST(Endpoints, ValidatesConfig) {
+  TestWorld w;
+  PlatformConfig bad = w.config;
+  bad.num_vantages = 0;
+  EXPECT_THROW(choose_endpoints(w.graph, bad, 1), std::invalid_argument);
+}
+
+TEST(Platform, ValidatesConfig) {
+  TestWorld w;
+  PlatformConfig bad = w.config;
+  bad.num_days = 0;
+  EXPECT_THROW(Platform(w.graph, w.registry, w.plan, bad, 1), std::invalid_argument);
+  bad = w.config;
+  bad.epochs_per_day = 0;
+  EXPECT_THROW(Platform(w.graph, w.registry, w.plan, bad, 1), std::invalid_argument);
+  bad = w.config;
+  bad.vp_nodes_per_as = 0;
+  EXPECT_THROW(Platform(w.graph, w.registry, w.plan, bad, 1), std::invalid_argument);
+}
+
+TEST(Platform, RunIsDeterministic) {
+  TestWorld w;
+  Platform p1(w.graph, w.registry, w.plan, w.config, 9);
+  Platform p2(w.graph, w.registry, w.plan, w.config, 9);
+  CollectingSink s1, s2;
+  p1.run(s1);
+  p2.run(s2);
+  ASSERT_EQ(s1.measurements.size(), s2.measurements.size());
+  for (std::size_t i = 0; i < s1.measurements.size(); ++i) {
+    EXPECT_EQ(s1.measurements[i].vantage, s2.measurements[i].vantage);
+    EXPECT_EQ(s1.measurements[i].url_id, s2.measurements[i].url_id);
+    EXPECT_EQ(s1.measurements[i].detected, s2.measurements[i].detected);
+    EXPECT_EQ(s1.measurements[i].truth_path, s2.measurements[i].truth_path);
+  }
+}
+
+TEST(Platform, EmitsAllDaysAndPaths) {
+  TestWorld w;
+  Platform platform(w.graph, w.registry, w.plan, w.config, 9);
+  CollectingSink sink;
+  platform.run(sink);
+  ASSERT_EQ(sink.days.size(), 7u);
+  EXPECT_EQ(sink.days.front(), 0);
+  EXPECT_EQ(sink.days.back(), 6);
+  // on_path: days * epochs * vantage ASes * dests.
+  EXPECT_EQ(sink.path_calls, 7LL * 2 * 8 * 6);
+  EXPECT_GT(sink.measurements.size(), 0u);
+}
+
+TEST(Platform, SessionsCoverEveryEpochAndNode) {
+  TestWorld w;
+  Platform platform(w.graph, w.registry, w.plan, w.config, 9);
+  CollectingSink sink;
+  platform.run(sink);
+  // Group measurements by (vantage, url, day): each session must contain
+  // one measurement per (node, epoch).
+  std::map<std::tuple<topo::AsId, std::int32_t, util::Day>, std::set<std::pair<int, int>>>
+      sessions;
+  for (const auto& m : sink.measurements) {
+    sessions[{m.vantage, m.url_id, m.day}].emplace(m.vp_node, m.epoch_in_day);
+  }
+  const auto expected = static_cast<std::size_t>(w.config.vp_nodes_per_as) *
+                        static_cast<std::size_t>(w.config.epochs_per_day);
+  for (const auto& [key, slots] : sessions) {
+    EXPECT_EQ(slots.size(), expected);
+  }
+  EXPECT_GT(sessions.size(), 10u);
+}
+
+TEST(Platform, TruthConsistency) {
+  TestWorld w;
+  Platform platform(w.graph, w.registry, w.plan, w.config, 9);
+  CollectingSink sink;
+  platform.run(sink);
+  for (const auto& m : sink.measurements) {
+    if (m.unreachable) {
+      EXPECT_TRUE(m.truth_path.empty());
+      for (const auto& t : m.traceroutes) EXPECT_TRUE(t.error);
+      continue;
+    }
+    ASSERT_FALSE(m.truth_path.empty());
+    EXPECT_EQ(m.truth_path.front(), m.vantage);
+    const auto& url = platform.urls()[static_cast<std::size_t>(m.url_id)];
+    EXPECT_EQ(m.truth_path.back(), url.dest_as);
+    // Ground-truth flags match the registry on the truth path.
+    for (const auto a : censor::kAllAnomalies) {
+      EXPECT_EQ(m.truth_censored[static_cast<std::size_t>(a)],
+                w.registry.path_censored(m.truth_path, url.category, a, m.day));
+    }
+  }
+}
+
+TEST(Platform, NoNoiseMeansDetectionEqualsTruth) {
+  TestWorld w;
+  w.config.noise.false_positive.fill(0.0);
+  w.config.noise.false_negative.fill(0.0);
+  Platform platform(w.graph, w.registry, w.plan, w.config, 9);
+  CollectingSink sink;
+  platform.run(sink);
+  std::int64_t censored = 0;
+  for (const auto& m : sink.measurements) {
+    EXPECT_EQ(m.detected, m.truth_censored);
+    for (const bool d : m.detected) censored += d ? 1 : 0;
+  }
+  EXPECT_GT(censored, 0) << "scenario produced no censored measurement at all";
+}
+
+TEST(Platform, SiblingNodesCanTakeDifferentPaths) {
+  TestWorld w;
+  Platform platform(w.graph, w.registry, w.plan, w.config, 9);
+  CollectingSink sink;
+  platform.run(sink);
+  std::map<std::tuple<topo::AsId, std::int32_t, util::Day, std::int32_t>,
+           std::set<std::vector<topo::AsId>>>
+      by_session_epoch;
+  bool any_divergence = false;
+  for (const auto& m : sink.measurements) {
+    if (m.unreachable) continue;
+    auto& paths = by_session_epoch[{m.vantage, m.url_id, m.day, m.epoch_in_day}];
+    paths.insert(m.truth_path);
+    any_divergence = any_divergence || paths.size() > 1;
+  }
+  EXPECT_TRUE(any_divergence) << "multihomed vantage nodes never diverged";
+}
+
+TEST(DatasetSummary, CountsDistincts) {
+  TestWorld w;
+  Platform platform(w.graph, w.registry, w.plan, w.config, 9);
+  DatasetSummary summary(w.graph);
+  platform.run(summary);
+  EXPECT_GT(summary.measurements(), 0);
+  EXPECT_LE(summary.distinct_vantages(), 8);
+  EXPECT_LE(summary.distinct_urls(), 12);
+  EXPECT_GT(summary.distinct_countries(), 0);
+  double total_fraction = 0.0;
+  for (const auto a : censor::kAllAnomalies) {
+    EXPECT_GE(summary.anomaly_count(a), 0);
+    total_fraction += summary.anomaly_fraction(a);
+  }
+  EXPECT_LT(total_fraction, 1.0);
+}
+
+TEST(SinkFanout, ForwardsToAll) {
+  TestWorld w;
+  Platform platform(w.graph, w.registry, w.plan, w.config, 9);
+  CollectingSink a, b;
+  SinkFanout fanout;
+  fanout.add(&a);
+  fanout.add(&b);
+  platform.run(fanout);
+  EXPECT_EQ(a.measurements.size(), b.measurements.size());
+  EXPECT_EQ(a.path_calls, b.path_calls);
+  EXPECT_GT(a.measurements.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ct::iclab

@@ -1,0 +1,66 @@
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace ct::net {
+namespace {
+
+TEST(Ip, ToString) {
+  EXPECT_EQ(to_string(Ip4{0}), "0.0.0.0");
+  EXPECT_EQ(to_string((10u << 24) | (42u << 16) | 1u), "10.42.0.1");
+  EXPECT_EQ(to_string(0xFFFFFFFFu), "255.255.255.255");
+}
+
+TEST(Ip, ParseRoundTrip) {
+  for (const char* s : {"0.0.0.0", "10.42.0.1", "192.168.255.254", "255.255.255.255"}) {
+    EXPECT_EQ(to_string(parse_ip4(s)), s);
+  }
+}
+
+TEST(Ip, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_ip4(""), std::invalid_argument);
+  EXPECT_THROW(parse_ip4("10.0.0"), std::invalid_argument);
+  EXPECT_THROW(parse_ip4("10.0.0.256"), std::invalid_argument);
+  EXPECT_THROW(parse_ip4("10.0.0.1.2"), std::invalid_argument);
+  EXPECT_THROW(parse_ip4("banana"), std::invalid_argument);
+}
+
+TEST(Prefix, MakeCanonicalizes) {
+  const Prefix p = Prefix::make(parse_ip4("10.42.13.7"), 16);
+  EXPECT_EQ(to_string(p), "10.42.0.0/16");
+  EXPECT_EQ(p.length, 16);
+}
+
+TEST(Prefix, MakeValidatesLength) {
+  EXPECT_THROW(Prefix::make(0, 33), std::invalid_argument);
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  const Prefix p = Prefix::make(parse_ip4("10.0.0.0"), 0);
+  EXPECT_TRUE(p.contains(0));
+  EXPECT_TRUE(p.contains(0xFFFFFFFFu));
+  EXPECT_EQ(p.size(), 1ULL << 32);
+}
+
+TEST(Prefix, Contains) {
+  const Prefix p = Prefix::make(parse_ip4("10.42.0.0"), 16);
+  EXPECT_TRUE(p.contains(parse_ip4("10.42.0.1")));
+  EXPECT_TRUE(p.contains(parse_ip4("10.42.255.255")));
+  EXPECT_FALSE(p.contains(parse_ip4("10.43.0.0")));
+  EXPECT_FALSE(p.contains(parse_ip4("11.42.0.0")));
+}
+
+TEST(Prefix, HostPrefix) {
+  const Prefix p = Prefix::make(parse_ip4("10.1.2.3"), 32);
+  EXPECT_TRUE(p.contains(parse_ip4("10.1.2.3")));
+  EXPECT_FALSE(p.contains(parse_ip4("10.1.2.4")));
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Prefix, Equality) {
+  EXPECT_EQ(Prefix::make(parse_ip4("10.1.0.0"), 16), Prefix::make(parse_ip4("10.1.255.1"), 16));
+  EXPECT_NE(Prefix::make(parse_ip4("10.1.0.0"), 16), Prefix::make(parse_ip4("10.1.0.0"), 17));
+}
+
+}  // namespace
+}  // namespace ct::net

@@ -1,0 +1,127 @@
+#include "sat/counter.h"
+
+#include <gtest/gtest.h>
+
+namespace ct::sat {
+namespace {
+
+Lit pos(Var v) { return Lit(v, false); }
+Lit neg(Var v) { return Lit(v, true); }
+
+TEST(Counter, EmptyFormulaCountsAllAssignments) {
+  Cnf cnf;
+  cnf.num_vars = 5;
+  ModelCounter mc;
+  EXPECT_EQ(mc.count(cnf).count, 32u);
+}
+
+TEST(Counter, SingleUnit) {
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.add_clause({pos(0)});
+  ModelCounter mc;
+  EXPECT_EQ(mc.count(cnf).count, 1u);
+}
+
+TEST(Counter, UnsatIsZero) {
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.add_clause({pos(0)});
+  cnf.add_clause({neg(0)});
+  ModelCounter mc;
+  EXPECT_EQ(mc.count(cnf).count, 0u);
+}
+
+TEST(Counter, Disjunction) {
+  // (x0 v x1 v x2) has 7 models.
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.add_clause({pos(0), pos(1), pos(2)});
+  ModelCounter mc;
+  EXPECT_EQ(mc.count(cnf).count, 7u);
+}
+
+TEST(Counter, FreeVariablesMultiply) {
+  // (x0 v x1) with 2 extra free vars: 3 * 4 = 12.
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.add_clause({pos(0), pos(1)});
+  ModelCounter mc;
+  EXPECT_EQ(mc.count(cnf).count, 12u);
+}
+
+TEST(Counter, IndependentComponentsMultiply) {
+  // (x0 v x1) and (x2 v x3): 3 * 3 = 9.
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.add_clause({pos(0), pos(1)});
+  cnf.add_clause({pos(2), pos(3)});
+  ModelCounter mc;
+  EXPECT_EQ(mc.count(cnf).count, 9u);
+}
+
+TEST(Counter, XorChain) {
+  // (x0 xor x1) as CNF: 2 models.
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.add_clause({pos(0), pos(1)});
+  cnf.add_clause({neg(0), neg(1)});
+  ModelCounter mc;
+  EXPECT_EQ(mc.count(cnf).count, 2u);
+}
+
+TEST(Counter, ImplicationChainHalvesPerVar) {
+  // x0 -> x1 -> x2 -> x3: models are the monotone suffixes: 5 models.
+  Cnf cnf;
+  cnf.num_vars = 4;
+  for (int i = 0; i + 1 < 4; ++i) cnf.add_clause({neg(i), pos(i + 1)});
+  ModelCounter mc;
+  EXPECT_EQ(mc.count(cnf).count, 5u);
+}
+
+TEST(Counter, PaperStyleUniqueModel) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.add_clause({pos(0), pos(1), pos(2)});
+  cnf.add_clause({neg(0)});
+  cnf.add_clause({neg(1)});
+  ModelCounter mc;
+  EXPECT_EQ(mc.count(cnf).count, 1u);
+}
+
+TEST(Counter, ManyFreeVarsSaturate) {
+  Cnf cnf;
+  cnf.num_vars = 80;  // 2^80 models saturates the cap
+  ModelCounter mc;
+  const auto r = mc.count(cnf);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_EQ(r.count, kCountCap);
+}
+
+TEST(Counter, CacheIsUsedOnRepeatedStructure) {
+  // Many disjoint identical components: the component cache must hit.
+  Cnf cnf;
+  cnf.num_vars = 30;
+  for (int i = 0; i < 10; ++i) {
+    cnf.add_clause({pos(3 * i), pos(3 * i + 1), pos(3 * i + 2)});
+  }
+  ModelCounter mc;
+  const auto r = mc.count(cnf);
+  // 7^10
+  std::uint64_t expected = 1;
+  for (int i = 0; i < 10; ++i) expected *= 7;
+  EXPECT_EQ(r.count, expected);
+}
+
+TEST(Counter, UnitPropagationCascade) {
+  // Chain of units: x0, x0->x1, ..., unique model.
+  Cnf cnf;
+  cnf.num_vars = 10;
+  cnf.add_clause({pos(0)});
+  for (int i = 0; i + 1 < 10; ++i) cnf.add_clause({neg(i), pos(i + 1)});
+  ModelCounter mc;
+  EXPECT_EQ(mc.count(cnf).count, 1u);
+}
+
+}  // namespace
+}  // namespace ct::sat

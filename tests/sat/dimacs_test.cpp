@@ -1,0 +1,83 @@
+#include "sat/dimacs.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ct::sat {
+namespace {
+
+Lit pos(Var v) { return Lit(v, false); }
+Lit neg(Var v) { return Lit(v, true); }
+
+TEST(Dimacs, WriteBasic) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.add_clause({pos(0), neg(1)});
+  cnf.add_clause({pos(2)});
+  const std::string s = to_dimacs_string(cnf, {"a comment"});
+  EXPECT_NE(s.find("c a comment"), std::string::npos);
+  EXPECT_NE(s.find("p cnf 3 2"), std::string::npos);
+  EXPECT_NE(s.find("1 -2 0"), std::string::npos);
+  EXPECT_NE(s.find("3 0"), std::string::npos);
+}
+
+TEST(Dimacs, RoundTrip) {
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.add_clause({pos(0), neg(1), pos(3)});
+  cnf.add_clause({neg(0)});
+  cnf.add_clause({pos(1), pos(2)});
+  const Cnf back = from_dimacs_string(to_dimacs_string(cnf));
+  ASSERT_EQ(back.num_vars, cnf.num_vars);
+  ASSERT_EQ(back.clauses.size(), cnf.clauses.size());
+  for (std::size_t i = 0; i < cnf.clauses.size(); ++i) {
+    EXPECT_EQ(back.clauses[i], cnf.clauses[i]);
+  }
+}
+
+TEST(Dimacs, ReadIgnoresComments) {
+  const Cnf cnf = from_dimacs_string("c hello\nc world\np cnf 2 1\n1 2 0\n");
+  EXPECT_EQ(cnf.num_vars, 2);
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  EXPECT_EQ(cnf.clauses[0].size(), 2u);
+}
+
+TEST(Dimacs, ReadMultipleClausesPerLine) {
+  const Cnf cnf = from_dimacs_string("p cnf 2 2\n1 0 -2 0\n");
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0][0].to_dimacs(), 1);
+  EXPECT_EQ(cnf.clauses[1][0].to_dimacs(), -2);
+}
+
+TEST(Dimacs, NegativeLiteralsParse) {
+  const Cnf cnf = from_dimacs_string("p cnf 3 1\n-1 -2 -3 0\n");
+  for (const Lit l : cnf.clauses[0]) EXPECT_TRUE(l.negated());
+}
+
+TEST(Dimacs, ErrorMissingHeader) {
+  EXPECT_THROW(from_dimacs_string("1 2 0\n"), std::runtime_error);
+  EXPECT_THROW(from_dimacs_string(""), std::runtime_error);
+}
+
+TEST(Dimacs, ErrorLiteralOutOfRange) {
+  EXPECT_THROW(from_dimacs_string("p cnf 2 1\n3 0\n"), std::runtime_error);
+}
+
+TEST(Dimacs, ErrorUnterminatedClause) {
+  EXPECT_THROW(from_dimacs_string("p cnf 2 1\n1 2\n"), std::runtime_error);
+}
+
+TEST(Dimacs, ErrorMalformedProblemLine) {
+  EXPECT_THROW(from_dimacs_string("p sat 2 1\n1 0\n"), std::runtime_error);
+  EXPECT_THROW(from_dimacs_string("p cnf -2 1\n1 0\n"), std::runtime_error);
+}
+
+TEST(Dimacs, LitDimacsConversionRoundTrip) {
+  for (std::int32_t d : {1, -1, 5, -5, 100, -100}) {
+    EXPECT_EQ(Lit::from_dimacs(d).to_dimacs(), d);
+  }
+}
+
+}  // namespace
+}  // namespace ct::sat

@@ -1,0 +1,195 @@
+#include "tomo/cnf_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ct::tomo {
+namespace {
+
+PathClause make_clause(PathPool& pool, std::vector<topo::AsId> path, bool observed,
+                       std::int32_t url = 0, util::Day day = 0,
+                       censor::Anomaly anomaly = censor::Anomaly::kDns,
+                       topo::AsId vantage = 99) {
+  PathClause c;
+  c.path_id = pool.intern(path);
+  c.url_id = url;
+  c.vantage = vantage;
+  c.day = day;
+  c.anomaly = anomaly;
+  c.observed = observed;
+  return c;
+}
+
+CnfBuildOptions day_only() {
+  CnfBuildOptions o;
+  o.granularities = {util::Granularity::kDay};
+  return o;
+}
+
+TEST(CnfBuilder, PaperExampleStructure) {
+  // (X v Y v Z) = T from a censored path; clean paths eliminate X and Y.
+  PathPool pool;
+  std::vector<PathClause> clauses{
+      make_clause(pool, {1, 2, 3}, true),
+      make_clause(pool, {1, 4}, false),
+      make_clause(pool, {2, 4}, false),
+  };
+  const auto cnfs = build_cnfs(pool, clauses, day_only());
+  ASSERT_EQ(cnfs.size(), 1u);
+  const TomoCnf& tc = cnfs[0];
+  EXPECT_EQ(tc.vars, (std::vector<topo::AsId>{1, 2, 3, 4}));
+  EXPECT_EQ(tc.num_positive_clauses, 1);
+  EXPECT_EQ(tc.num_negative_units, 3);  // ASes 1, 2, 4 seen clean
+  EXPECT_EQ(tc.cnf.num_vars, 4);
+  EXPECT_EQ(tc.cnf.clauses.size(), 4u);
+  ASSERT_EQ(tc.positive_paths.size(), 1u);
+  EXPECT_EQ(tc.positive_paths[0], (std::vector<topo::AsId>{1, 2, 3}));
+  EXPECT_EQ(tc.var_of(3), 2);
+  EXPECT_EQ(tc.var_of(42), -1);
+}
+
+TEST(CnfBuilder, RequirePositiveSkipsAllCleanGroups) {
+  PathPool pool;
+  std::vector<PathClause> clauses{make_clause(pool, {1, 2}, false)};
+  EXPECT_TRUE(build_cnfs(pool, clauses, day_only()).empty());
+  CnfBuildOptions keep = day_only();
+  keep.require_positive = false;
+  const auto cnfs = build_cnfs(pool, clauses, keep);
+  ASSERT_EQ(cnfs.size(), 1u);
+  EXPECT_EQ(cnfs[0].num_positive_clauses, 0);
+  EXPECT_EQ(cnfs[0].num_negative_units, 2);
+}
+
+TEST(CnfBuilder, SplitsByUrl) {
+  PathPool pool;
+  std::vector<PathClause> clauses{
+      make_clause(pool, {1, 2}, true, /*url=*/0),
+      make_clause(pool, {1, 2}, true, /*url=*/1),
+  };
+  const auto cnfs = build_cnfs(pool, clauses, day_only());
+  ASSERT_EQ(cnfs.size(), 2u);
+  EXPECT_EQ(cnfs[0].key.url_id, 0);
+  EXPECT_EQ(cnfs[1].key.url_id, 1);
+}
+
+TEST(CnfBuilder, SplitsByAnomaly) {
+  PathPool pool;
+  std::vector<PathClause> clauses{
+      make_clause(pool, {1, 2}, true, 0, 0, censor::Anomaly::kDns),
+      make_clause(pool, {1, 2}, true, 0, 0, censor::Anomaly::kRst),
+  };
+  const auto cnfs = build_cnfs(pool, clauses, day_only());
+  ASSERT_EQ(cnfs.size(), 2u);
+  EXPECT_NE(cnfs[0].key.anomaly, cnfs[1].key.anomaly);
+}
+
+TEST(CnfBuilder, SplitsByWindowPerGranularity) {
+  PathPool pool;
+  // Two observations nine days apart: distinct day and week windows,
+  // same month window.
+  std::vector<PathClause> clauses{
+      make_clause(pool, {1, 2}, true, 0, /*day=*/0),
+      make_clause(pool, {1, 3}, true, 0, /*day=*/9),
+  };
+  CnfBuildOptions all;
+  const auto cnfs = build_cnfs(pool, clauses, all);
+  int day_cnfs = 0, week_cnfs = 0, month_cnfs = 0, year_cnfs = 0;
+  for (const auto& tc : cnfs) {
+    switch (tc.key.granularity) {
+      case util::Granularity::kDay: ++day_cnfs; break;
+      case util::Granularity::kWeek: ++week_cnfs; break;
+      case util::Granularity::kMonth: ++month_cnfs; break;
+      case util::Granularity::kYear: ++year_cnfs; break;
+    }
+  }
+  EXPECT_EQ(day_cnfs, 2);
+  EXPECT_EQ(week_cnfs, 2);
+  EXPECT_EQ(month_cnfs, 1);
+  EXPECT_EQ(year_cnfs, 1);
+  // The month CNF pools both positive paths.
+  for (const auto& tc : cnfs) {
+    if (tc.key.granularity == util::Granularity::kMonth) {
+      EXPECT_EQ(tc.num_positive_clauses, 2);
+      EXPECT_EQ(tc.vars, (std::vector<topo::AsId>{1, 2, 3}));
+    }
+  }
+}
+
+TEST(CnfBuilder, DeduplicatesRepeatedConstraints) {
+  PathPool pool;
+  std::vector<PathClause> clauses{
+      make_clause(pool, {1, 2, 3}, true),
+      make_clause(pool, {1, 2, 3}, true),   // same positive path again
+      make_clause(pool, {1, 4}, false),
+      make_clause(pool, {1, 4}, false),     // same clean path again
+  };
+  const auto cnfs = build_cnfs(pool, clauses, day_only());
+  ASSERT_EQ(cnfs.size(), 1u);
+  EXPECT_EQ(cnfs[0].num_positive_clauses, 1);
+  EXPECT_EQ(cnfs[0].num_negative_units, 2);  // ¬1, ¬4
+}
+
+TEST(CnfBuilder, SkipsEmptyPaths) {
+  PathPool pool;
+  std::vector<PathClause> clauses{make_clause(pool, {}, true)};
+  // An empty positive path contributes nothing; group has a positive
+  // marker with no literals — skip entirely.
+  const auto cnfs = build_cnfs(pool, clauses, day_only());
+  // One group exists with an empty positive path; its CNF has an empty
+  // clause, making it trivially UNSAT.  We verify build doesn't crash
+  // and the var set is empty.
+  for (const auto& tc : cnfs) {
+    EXPECT_TRUE(tc.vars.empty());
+  }
+}
+
+TEST(CnfBuilder, DuplicateAsOnPathYieldsOneLiteral) {
+  PathPool pool;
+  std::vector<PathClause> clauses{make_clause(pool, {1, 2, 1}, true)};
+  const auto cnfs = build_cnfs(pool, clauses, day_only());
+  ASSERT_EQ(cnfs.size(), 1u);
+  ASSERT_EQ(cnfs[0].cnf.clauses.size(), 1u);
+  EXPECT_EQ(cnfs[0].cnf.clauses[0].size(), 2u);
+}
+
+TEST(CnfBuilder, OutputSortedByKey) {
+  PathPool pool;
+  std::vector<PathClause> clauses{
+      make_clause(pool, {1}, true, 2, 5),
+      make_clause(pool, {1}, true, 0, 3),
+      make_clause(pool, {1}, true, 1, 1),
+  };
+  const auto cnfs = build_cnfs(pool, clauses, day_only());
+  ASSERT_EQ(cnfs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(cnfs.begin(), cnfs.end(),
+                             [](const TomoCnf& a, const TomoCnf& b) { return a.key < b.key; }));
+}
+
+TEST(StripPathChurn, KeepsOnlyFirstPathPerVantageUrl) {
+  PathPool pool;
+  std::vector<PathClause> clauses{
+      make_clause(pool, {1, 2}, false, 0, 0, censor::Anomaly::kDns, /*vantage=*/7),
+      make_clause(pool, {1, 3}, true, 0, 1, censor::Anomaly::kDns, /*vantage=*/7),  // churned
+      make_clause(pool, {1, 2}, true, 0, 2, censor::Anomaly::kDns, /*vantage=*/7),  // back
+      make_clause(pool, {4, 2}, false, 0, 0, censor::Anomaly::kDns, /*vantage=*/8),
+  };
+  const auto stripped = strip_path_churn(pool, clauses);
+  ASSERT_EQ(stripped.size(), 3u);
+  EXPECT_EQ(pool.get(stripped[0].path_id), (std::vector<topo::AsId>{1, 2}));
+  EXPECT_EQ(pool.get(stripped[1].path_id), (std::vector<topo::AsId>{1, 2}));
+  EXPECT_EQ(stripped[1].day, 2);
+  EXPECT_EQ(stripped[2].vantage, 8);
+}
+
+TEST(StripPathChurn, DifferentUrlsTrackedSeparately) {
+  PathPool pool;
+  std::vector<PathClause> clauses{
+      make_clause(pool, {1, 2}, false, /*url=*/0, 0, censor::Anomaly::kDns, 7),
+      make_clause(pool, {1, 3}, false, /*url=*/1, 0, censor::Anomaly::kDns, 7),
+  };
+  EXPECT_EQ(strip_path_churn(pool, clauses).size(), 2u);
+}
+
+}  // namespace
+}  // namespace ct::tomo

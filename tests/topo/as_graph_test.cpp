@@ -1,0 +1,103 @@
+#include "topo/as_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace ct::topo {
+namespace {
+
+AsGraph two_country_graph() {
+  AsGraph g;
+  const CountryId cn = g.add_country("CN", Region::kAsia);
+  const CountryId gb = g.add_country("GB", Region::kEurope);
+  g.add_as(100, AsTier::kTier1, AsClass::kTransitAccess, cn);
+  g.add_as(200, AsTier::kTransit, AsClass::kTransitAccess, gb);
+  g.add_as(300, AsTier::kStub, AsClass::kContent, gb);
+  return g;
+}
+
+TEST(AsGraph, AddCountryAssignsSequentialIds) {
+  AsGraph g;
+  EXPECT_EQ(g.add_country("CN", Region::kAsia), 0);
+  EXPECT_EQ(g.add_country("GB", Region::kEurope), 1);
+  EXPECT_EQ(g.num_countries(), 2);
+  EXPECT_EQ(g.country(0).code, "CN");
+  EXPECT_EQ(g.country(1).region, Region::kEurope);
+}
+
+TEST(AsGraph, DuplicateCountryRejected) {
+  AsGraph g;
+  g.add_country("CN", Region::kAsia);
+  EXPECT_THROW(g.add_country("CN", Region::kAsia), std::invalid_argument);
+}
+
+TEST(AsGraph, AddAsValidatesCountry) {
+  AsGraph g;
+  EXPECT_THROW(g.add_as(100, AsTier::kStub, AsClass::kContent, 0), std::invalid_argument);
+  g.add_country("CN", Region::kAsia);
+  const AsId id = g.add_as(100, AsTier::kStub, AsClass::kContent, 0);
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(g.as_info(id).asn, 100);
+  EXPECT_EQ(g.country_of(id).code, "CN");
+}
+
+TEST(AsGraph, CustomerProviderAdjacency) {
+  AsGraph g = two_country_graph();
+  g.add_link(2, 1, LinkRelation::kCustomerProvider, false);  // stub -> transit
+  const auto& stub_neighbors = g.neighbors(2);
+  ASSERT_EQ(stub_neighbors.size(), 1u);
+  EXPECT_EQ(stub_neighbors[0].as, 1);
+  EXPECT_EQ(stub_neighbors[0].kind, NeighborKind::kProvider);
+  const auto& transit_neighbors = g.neighbors(1);
+  ASSERT_EQ(transit_neighbors.size(), 1u);
+  EXPECT_EQ(transit_neighbors[0].as, 2);
+  EXPECT_EQ(transit_neighbors[0].kind, NeighborKind::kCustomer);
+}
+
+TEST(AsGraph, PeerAdjacencySymmetric) {
+  AsGraph g = two_country_graph();
+  g.add_link(0, 1, LinkRelation::kPeerPeer, true);
+  EXPECT_EQ(g.neighbors(0)[0].kind, NeighborKind::kPeer);
+  EXPECT_EQ(g.neighbors(1)[0].kind, NeighborKind::kPeer);
+  EXPECT_TRUE(g.link(0).is_volatile);
+}
+
+TEST(AsGraph, LinkValidation) {
+  AsGraph g = two_country_graph();
+  EXPECT_THROW(g.add_link(0, 0, LinkRelation::kPeerPeer, false), std::invalid_argument);
+  EXPECT_THROW(g.add_link(0, 99, LinkRelation::kPeerPeer, false), std::invalid_argument);
+  EXPECT_THROW(g.add_link(-1, 0, LinkRelation::kPeerPeer, false), std::invalid_argument);
+  g.add_link(0, 1, LinkRelation::kPeerPeer, false);
+  EXPECT_THROW(g.add_link(0, 1, LinkRelation::kPeerPeer, false), std::invalid_argument);
+  EXPECT_THROW(g.add_link(1, 0, LinkRelation::kCustomerProvider, false),
+               std::invalid_argument);
+}
+
+TEST(AsGraph, TierAndClassQueries) {
+  AsGraph g = two_country_graph();
+  EXPECT_EQ(g.ases_with_tier(AsTier::kTier1), (std::vector<AsId>{0}));
+  EXPECT_EQ(g.ases_with_tier(AsTier::kStub), (std::vector<AsId>{2}));
+  EXPECT_EQ(g.ases_with_class(AsClass::kContent), (std::vector<AsId>{2}));
+  EXPECT_EQ(g.ases_with_class(AsClass::kTransitAccess).size(), 2u);
+}
+
+TEST(AsGraph, ProviderConnectedDetectsOrphans) {
+  AsGraph g = two_country_graph();
+  EXPECT_FALSE(g.provider_connected());  // transit/stub have no provider chain
+  g.add_link(1, 0, LinkRelation::kCustomerProvider, false);
+  g.add_link(2, 1, LinkRelation::kCustomerProvider, false);
+  EXPECT_TRUE(g.provider_connected());
+}
+
+TEST(AsGraph, EmptyGraphIsProviderConnected) {
+  AsGraph g;
+  EXPECT_TRUE(g.provider_connected());
+}
+
+TEST(AsGraph, EnumToString) {
+  EXPECT_EQ(to_string(AsTier::kTier1), "tier1");
+  EXPECT_EQ(to_string(AsClass::kEnterprise), "enterprise");
+  EXPECT_EQ(to_string(Region::kMiddleEast), "Middle East");
+}
+
+}  // namespace
+}  // namespace ct::topo

@@ -1,0 +1,208 @@
+#include "topo/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ct::topo {
+namespace {
+
+TopologyConfig small_config() {
+  TopologyConfig cfg;
+  cfg.num_ases = 100;
+  cfg.num_tier1 = 4;
+  cfg.num_transit = 20;
+  cfg.num_countries = 12;
+  return cfg;
+}
+
+TEST(Generator, ValidatesConfig) {
+  TopologyConfig bad = small_config();
+  bad.num_ases = 0;
+  EXPECT_THROW(generate_topology(bad, 1), std::invalid_argument);
+  bad = small_config();
+  bad.num_tier1 = 0;
+  EXPECT_THROW(generate_topology(bad, 1), std::invalid_argument);
+  bad = small_config();
+  bad.num_tier1 = 60;
+  bad.num_transit = 60;
+  EXPECT_THROW(generate_topology(bad, 1), std::invalid_argument);
+  bad = small_config();
+  bad.num_countries = 0;
+  EXPECT_THROW(generate_topology(bad, 1), std::invalid_argument);
+}
+
+TEST(Generator, Deterministic) {
+  const AsGraph a = generate_topology(small_config(), 42);
+  const AsGraph b = generate_topology(small_config(), 42);
+  ASSERT_EQ(a.num_ases(), b.num_ases());
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (AsId i = 0; i < a.num_ases(); ++i) {
+    EXPECT_EQ(a.as_info(i).asn, b.as_info(i).asn);
+    EXPECT_EQ(a.as_info(i).country, b.as_info(i).country);
+  }
+  for (LinkId i = 0; i < a.num_links(); ++i) {
+    EXPECT_EQ(a.link(i).a, b.link(i).a);
+    EXPECT_EQ(a.link(i).b, b.link(i).b);
+    EXPECT_EQ(a.link(i).is_volatile, b.link(i).is_volatile);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const AsGraph a = generate_topology(small_config(), 1);
+  const AsGraph b = generate_topology(small_config(), 2);
+  bool any_diff = a.num_links() != b.num_links();
+  for (LinkId i = 0; !any_diff && i < a.num_links(); ++i) {
+    any_diff = a.link(i).a != b.link(i).a || a.link(i).b != b.link(i).b;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, TierCounts) {
+  const AsGraph g = generate_topology(small_config(), 7);
+  EXPECT_EQ(g.num_ases(), 100);
+  EXPECT_EQ(g.ases_with_tier(AsTier::kTier1).size(), 4u);
+  EXPECT_EQ(g.ases_with_tier(AsTier::kTransit).size(), 20u);
+  EXPECT_EQ(g.ases_with_tier(AsTier::kStub).size(), 76u);
+}
+
+TEST(Generator, Tier1FormsStablePeerClique) {
+  const AsGraph g = generate_topology(small_config(), 7);
+  const auto tier1 = g.ases_with_tier(AsTier::kTier1);
+  for (const AsId a : tier1) {
+    int peers_in_clique = 0;
+    for (const auto& nb : g.neighbors(a)) {
+      if (nb.kind == NeighborKind::kPeer &&
+          g.as_info(nb.as).tier == AsTier::kTier1) {
+        ++peers_in_clique;
+        EXPECT_FALSE(g.link(nb.link).is_volatile);  // backbone mesh is stable
+      }
+    }
+    EXPECT_EQ(peers_in_clique, static_cast<int>(tier1.size()) - 1);
+  }
+}
+
+TEST(Generator, Tier1HasNoProviders) {
+  const AsGraph g = generate_topology(small_config(), 9);
+  for (const AsId a : g.ases_with_tier(AsTier::kTier1)) {
+    for (const auto& nb : g.neighbors(a)) {
+      EXPECT_NE(nb.kind, NeighborKind::kProvider);
+    }
+  }
+}
+
+TEST(Generator, EveryNonTier1HasAProvider) {
+  const AsGraph g = generate_topology(small_config(), 11);
+  for (const auto& info : g.ases()) {
+    if (info.tier == AsTier::kTier1) continue;
+    bool has_provider = false;
+    for (const auto& nb : g.neighbors(info.id)) {
+      has_provider = has_provider || nb.kind == NeighborKind::kProvider;
+    }
+    EXPECT_TRUE(has_provider) << "AS index " << info.id;
+  }
+}
+
+TEST(Generator, ProviderConnected) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    EXPECT_TRUE(generate_topology(small_config(), seed).provider_connected());
+  }
+}
+
+TEST(Generator, StubsNeverHaveCustomers) {
+  const AsGraph g = generate_topology(small_config(), 13);
+  for (const AsId s : g.ases_with_tier(AsTier::kStub)) {
+    for (const auto& nb : g.neighbors(s)) {
+      EXPECT_NE(nb.kind, NeighborKind::kCustomer);
+    }
+  }
+}
+
+TEST(Generator, UniqueAsns) {
+  const AsGraph g = generate_topology(small_config(), 17);
+  std::set<std::int32_t> asns;
+  for (const auto& info : g.ases()) asns.insert(info.asn);
+  EXPECT_EQ(asns.size(), static_cast<std::size_t>(g.num_ases()));
+}
+
+TEST(Generator, CountryTableRespected) {
+  TopologyConfig cfg = small_config();
+  cfg.num_countries = 5;
+  const AsGraph g = generate_topology(cfg, 19);
+  EXPECT_EQ(g.num_countries(), 5);
+  for (const auto& info : g.ases()) {
+    EXPECT_LT(info.country, 5);
+  }
+  // Priority order: paper countries first.
+  EXPECT_EQ(g.country(0).code, "CN");
+  EXPECT_EQ(g.country(1).code, "GB");
+}
+
+TEST(Generator, BuiltinCountriesHaveUniqueCodes) {
+  const auto& table = builtin_countries();
+  std::set<std::string> codes;
+  for (const auto& c : table) codes.insert(c.code);
+  EXPECT_EQ(codes.size(), table.size());
+  EXPECT_GE(table.size(), 40u);
+}
+
+TEST(Generator, VolatileFractionRoughlyRespected) {
+  TopologyConfig cfg = small_config();
+  cfg.num_ases = 400;
+  cfg.num_transit = 60;
+  cfg.volatile_link_fraction = 0.3;
+  const AsGraph g = generate_topology(cfg, 23);
+  int vol = 0, non_clique = 0;
+  for (const auto& link : g.links()) {
+    const bool clique = g.as_info(link.a).tier == AsTier::kTier1 &&
+                        g.as_info(link.b).tier == AsTier::kTier1;
+    if (clique) continue;
+    ++non_clique;
+    vol += link.is_volatile ? 1 : 0;
+  }
+  const double frac = static_cast<double>(vol) / non_clique;
+  EXPECT_NEAR(frac, 0.3, 0.06);
+}
+
+TEST(Generator, MultihomeProbabilityShapesStubDegree) {
+  TopologyConfig cfg = small_config();
+  cfg.num_ases = 500;
+  cfg.num_transit = 50;
+  cfg.multihome_prob = 1.0;
+  const AsGraph g = generate_topology(cfg, 29);
+  for (const AsId s : g.ases_with_tier(AsTier::kStub)) {
+    int providers = 0;
+    for (const auto& nb : g.neighbors(s)) {
+      providers += nb.kind == NeighborKind::kProvider ? 1 : 0;
+    }
+    EXPECT_EQ(providers, 2);
+  }
+}
+
+class GeneratorInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorInvariants, StructureHolds) {
+  TopologyConfig cfg = small_config();
+  const AsGraph g = generate_topology(cfg, GetParam());
+  EXPECT_TRUE(g.provider_connected());
+  // No duplicate links, no self links (add_link enforces; sanity check).
+  std::set<std::pair<AsId, AsId>> seen;
+  for (const auto& link : g.links()) {
+    EXPECT_NE(link.a, link.b);
+    const auto key = std::minmax(link.a, link.b);
+    EXPECT_TRUE(seen.emplace(key.first, key.second).second);
+  }
+  // Customer-provider links never point "down" in creation order for
+  // transits (providers are created before their customers), which
+  // guarantees an acyclic provider hierarchy.
+  for (const auto& link : g.links()) {
+    if (link.relation != LinkRelation::kCustomerProvider) continue;
+    EXPECT_LT(link.b, link.a) << "provider must be created before customer";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorInvariants, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace ct::topo

@@ -1,0 +1,177 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ct::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntThrowsOnBadRange) {
+  Rng rng(9);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, IndexThrowsOnZero) {
+  Rng rng(10);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  // mean failures before success = (1-p)/p = 3
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricValidation) {
+  Rng rng(14);
+  EXPECT_THROW(rng.geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.geometric(1.5), std::invalid_argument);
+  EXPECT_EQ(rng.geometric(1.0), 0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+  Rng rng(16);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto w = v;
+  bool changed = false;
+  for (int i = 0; i < 10 && !changed; ++i) {
+    rng.shuffle(w);
+    changed = (w != v);
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng base(17);
+  Rng a = base.split(1);
+  Rng b = base.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Mix64Deterministic) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+}
+
+TEST(ZipfSampler, ValidatesArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(5, -1.0), std::invalid_argument);
+}
+
+TEST(ZipfSampler, ExponentZeroIsUniform) {
+  ZipfSampler s(4, 0.0);
+  Rng rng(18);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[s.sample(rng)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.02);
+}
+
+TEST(ZipfSampler, HigherRanksLessLikely) {
+  ZipfSampler s(10, 1.2);
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[s.sample(rng)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(ZipfSampler, SamplesInRange) {
+  ZipfSampler s(7, 0.8);
+  Rng rng(20);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(s.sample(rng), 7u);
+}
+
+}  // namespace
+}  // namespace ct::util

@@ -1,0 +1,143 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ct::util {
+namespace {
+
+TEST(Mean, EmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Mean, Basic) { EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0); }
+
+TEST(Percentile, Median) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 9.0}, 100.0), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Cdf, AtBasic) {
+  Cdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+}
+
+TEST(Cdf, EmptyAtIsZero) {
+  Cdf cdf({});
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_TRUE(cdf.empty());
+}
+
+TEST(Cdf, Quantile) {
+  Cdf cdf({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+}
+
+TEST(Cdf, QuantileValidation) {
+  Cdf cdf({1.0});
+  EXPECT_THROW(cdf.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(1.1), std::invalid_argument);
+  Cdf empty({});
+  EXPECT_THROW(empty.quantile(0.5), std::logic_error);
+}
+
+TEST(Cdf, PointsDedupe) {
+  Cdf cdf({1.0, 1.0, 2.0});
+  const auto pts = cdf.points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].first, 1.0);
+  EXPECT_NEAR(pts[0].second, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pts[1].first, 2.0);
+  EXPECT_DOUBLE_EQ(pts[1].second, 1.0);
+}
+
+TEST(BucketedCounts, BasicBuckets) {
+  BucketedCounts bc(4);
+  bc.add(1);
+  bc.add(1);
+  bc.add(4);
+  bc.add(7);   // overflow
+  bc.add(99);  // overflow
+  EXPECT_EQ(bc.count(1), 2);
+  EXPECT_EQ(bc.count(4), 1);
+  EXPECT_EQ(bc.overflow(), 2);
+  EXPECT_EQ(bc.total(), 5);
+  EXPECT_DOUBLE_EQ(bc.fraction(1), 0.4);
+  EXPECT_DOUBLE_EQ(bc.overflow_fraction(), 0.4);
+}
+
+TEST(BucketedCounts, Weighted) {
+  BucketedCounts bc(2);
+  bc.add(0, 10);
+  EXPECT_EQ(bc.count(0), 10);
+  EXPECT_EQ(bc.total(), 10);
+}
+
+TEST(BucketedCounts, Validation) {
+  EXPECT_THROW(BucketedCounts(-1), std::invalid_argument);
+  BucketedCounts bc(2);
+  EXPECT_THROW(bc.add(-1), std::invalid_argument);
+  EXPECT_THROW(bc.count(3), std::out_of_range);
+  EXPECT_THROW(bc.count(-1), std::out_of_range);
+}
+
+TEST(BucketedCounts, EmptyFractions) {
+  BucketedCounts bc(3);
+  EXPECT_DOUBLE_EQ(bc.fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(bc.overflow_fraction(), 0.0);
+}
+
+TEST(Fraction, Accumulates) {
+  Fraction f;
+  f.add(true);
+  f.add(false);
+  f.add(true);
+  f.add(true);
+  EXPECT_EQ(f.hits, 3);
+  EXPECT_EQ(f.total, 4);
+  EXPECT_DOUBLE_EQ(f.value(), 0.75);
+  EXPECT_DOUBLE_EQ(f.percent(), 75.0);
+}
+
+TEST(Fraction, EmptyIsZero) {
+  Fraction f;
+  EXPECT_DOUBLE_EQ(f.value(), 0.0);
+}
+
+TEST(LabelCounter, TopSortsByCountThenKey) {
+  LabelCounter lc;
+  lc.add("b", 5);
+  lc.add("a", 5);
+  lc.add("c", 9);
+  lc.add("d");
+  const auto top = lc.top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, "c");
+  EXPECT_EQ(top[1].first, "a");
+  EXPECT_EQ(top[2].first, "b");
+  EXPECT_EQ(lc.total(), 20);
+  EXPECT_EQ(lc.get("d"), 1);
+  EXPECT_EQ(lc.get("missing"), 0);
+}
+
+}  // namespace
+}  // namespace ct::util

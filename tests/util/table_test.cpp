@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ct::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Region", "ASes"});
+  t.add_row({"China", "6"});
+  t.add_row({"Cyprus", "3"});
+  const std::string s = t.render("Table X");
+  EXPECT_NE(s.find("Table X"), std::string::npos);
+  EXPECT_NE(s.find("Region"), std::string::npos);
+  EXPECT_NE(s.find("China"), std::string::npos);
+  EXPECT_NE(s.find("Cyprus"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsWrongCellCount) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RendersWithoutTitle) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  const std::string s = t.render();
+  EXPECT_EQ(s.find("x"), 0u);
+}
+
+TEST(Fmt, FixedDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_pct(0.952, 1), "95.2%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Fmt, CountSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(4900000), "4,900,000");
+  EXPECT_EQ(fmt_count(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace ct::util

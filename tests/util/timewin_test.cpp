@@ -1,0 +1,55 @@
+#include "util/timewin.h"
+
+#include <gtest/gtest.h>
+
+namespace ct::util {
+namespace {
+
+TEST(TimeWin, WindowLengths) {
+  EXPECT_EQ(window_length(Granularity::kDay), 1);
+  EXPECT_EQ(window_length(Granularity::kWeek), 7);
+  EXPECT_EQ(window_length(Granularity::kMonth), 28);
+  EXPECT_EQ(window_length(Granularity::kYear), kDaysPerYear);
+}
+
+TEST(TimeWin, YearDivisibility) {
+  // The simulated year tiles exactly into weeks and months.
+  EXPECT_EQ(kDaysPerYear % kDaysPerWeek, 0);
+  EXPECT_EQ(kDaysPerYear % kDaysPerMonth, 0);
+}
+
+TEST(TimeWin, WindowOf) {
+  EXPECT_EQ(window_of(0, Granularity::kDay), 0);
+  EXPECT_EQ(window_of(13, Granularity::kDay), 13);
+  EXPECT_EQ(window_of(6, Granularity::kWeek), 0);
+  EXPECT_EQ(window_of(7, Granularity::kWeek), 1);
+  EXPECT_EQ(window_of(27, Granularity::kMonth), 0);
+  EXPECT_EQ(window_of(28, Granularity::kMonth), 1);
+  EXPECT_EQ(window_of(363, Granularity::kYear), 0);
+}
+
+TEST(TimeWin, WindowCount) {
+  EXPECT_EQ(window_count(kDaysPerYear, Granularity::kDay), 364);
+  EXPECT_EQ(window_count(kDaysPerYear, Granularity::kWeek), 52);
+  EXPECT_EQ(window_count(kDaysPerYear, Granularity::kMonth), 13);
+  EXPECT_EQ(window_count(kDaysPerYear, Granularity::kYear), 1);
+  EXPECT_EQ(window_count(8, Granularity::kWeek), 2);  // partial window counts
+}
+
+TEST(TimeWin, WindowStartInvertsWindowOf) {
+  for (const auto g : kAllGranularities) {
+    for (Day d = 0; d < kDaysPerYear; d += 11) {
+      const auto w = window_of(d, g);
+      EXPECT_LE(window_start(w, g), d);
+      EXPECT_GT(window_start(w, g) + window_length(g), d);
+    }
+  }
+}
+
+TEST(TimeWin, Labels) {
+  EXPECT_EQ(window_label(3, Granularity::kWeek), "week 3");
+  EXPECT_EQ(std::string(to_string(Granularity::kYear)), "year");
+}
+
+}  // namespace
+}  // namespace ct::util
