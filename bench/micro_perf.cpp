@@ -9,8 +9,10 @@
 #include "net/traceroute.h"
 #include "sat/counter.h"
 #include "sat/enumerate.h"
+#include "sat/session.h"
 #include "sat/solver.h"
 #include "tomo/clause.h"
+#include "tomo/engine.h"
 #include "topo/generator.h"
 #include "util/rng.h"
 
@@ -173,6 +175,60 @@ void BM_ModelCount(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelCount);
+
+// The tomography engine's query mix against one CNF — classify, count
+// up to the Figure 4 cap, backbone split — first the pre-session way
+// (a fresh solver per query, 3 CNF loads) and then on one SolverSession
+// (1 CNF load, shared learnt clauses).  The ratio is the session win.
+void BM_TomoQueriesFreshSolvers(benchmark::State& state) {
+  const sat::Cnf cnf = tomo_shaped_cnf(40, 4, 25, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sat::classify_solution_count(cnf));
+    benchmark::DoNotOptimize(sat::count_models_capped(cnf, 6));
+    benchmark::DoNotOptimize(sat::potential_true_vars(cnf));
+  }
+}
+BENCHMARK(BM_TomoQueriesFreshSolvers);
+
+void BM_TomoQueriesSession(benchmark::State& state) {
+  const sat::Cnf cnf = tomo_shaped_cnf(40, 4, 25, 13);
+  for (auto _ : state) {
+    sat::SolverSession session(cnf);
+    benchmark::DoNotOptimize(session.classify());
+    benchmark::DoNotOptimize(session.count_models_capped(6));
+    benchmark::DoNotOptimize(session.potential_true_vars());
+  }
+}
+BENCHMARK(BM_TomoQueriesSession);
+
+std::vector<tomo::TomoCnf> tomo_cnf_batch(std::size_t n) {
+  std::vector<tomo::TomoCnf> cnfs;
+  cnfs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tomo::TomoCnf tc;
+    tc.key.url_id = static_cast<std::int32_t>(i);
+    tc.cnf = tomo_shaped_cnf(36, 4, 22, 100 + i);
+    for (std::int32_t v = 0; v < tc.cnf.num_vars; ++v) {
+      tc.vars.push_back(static_cast<topo::AsId>(v));
+    }
+    cnfs.push_back(std::move(tc));
+  }
+  return cnfs;
+}
+
+// Batch analysis scaling: Arg = worker threads (0 = hardware
+// concurrency).  Verdicts are identical at every arg; only wall-clock
+// should move.
+void BM_AnalyzeCnfsBatch(benchmark::State& state) {
+  static const std::vector<tomo::TomoCnf> cnfs = tomo_cnf_batch(64);
+  tomo::AnalysisOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tomo::analyze_cnfs(cnfs, options));
+  }
+  state.counters["cnfs"] = static_cast<double>(cnfs.size());
+}
+BENCHMARK(BM_AnalyzeCnfsBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 
 void BM_ClauseBuild(benchmark::State& state) {
   const net::TracerouteEngine engine(bench_plan(), {});

@@ -79,7 +79,12 @@ Fig4Data make_fig4(const tomo::PathPool& pool, const std::vector<tomo::PathClaus
   tomo::CnfBuildOptions build;
   build.granularities = options.fig1_granularities;
   const std::vector<tomo::TomoCnf> cnfs = tomo::build_cnfs(pool, stripped, build);
-  const std::vector<tomo::CnfVerdict> verdicts = tomo::analyze_cnfs(cnfs, options.analysis);
+  // Figure 4 plots the solution-count histogram, so this is the one
+  // pass that must resolve counts past the 0/1/2+ class.
+  tomo::AnalysisOptions analysis = options.analysis;
+  analysis.resolve_counts = true;
+  analysis.num_threads = options.num_threads;
+  const std::vector<tomo::CnfVerdict> verdicts = tomo::analyze_cnfs(cnfs, analysis);
 
   for (const util::Granularity g : options.fig1_granularities) {
     fig4.solution_counts.emplace(g, util::BucketedCounts(4));
@@ -228,7 +233,13 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
   const tomo::PathPool& pool = clause_builder.pool();
   const std::vector<tomo::PathClause>& clauses = clause_builder.clauses();
   const std::vector<tomo::TomoCnf> cnfs = tomo::build_cnfs(pool, clauses);
-  const std::vector<tomo::CnfVerdict> verdicts = tomo::analyze_cnfs(cnfs, options.analysis);
+  // Nothing downstream of this pass reads counts beyond the 0/1/2+
+  // class (Figures 1/2, censor identification, leakage), so let the
+  // sessions stop enumerating at two models.
+  tomo::AnalysisOptions main_analysis = options.analysis;
+  main_analysis.resolve_counts = false;
+  main_analysis.num_threads = options.num_threads;
+  const std::vector<tomo::CnfVerdict> verdicts = tomo::analyze_cnfs(cnfs, main_analysis);
   result.total_cnfs = static_cast<std::int64_t>(verdicts.size());
 
   result.fig1 = make_fig1(verdicts, options.fig1_granularities);

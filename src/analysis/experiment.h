@@ -125,7 +125,15 @@ struct ExperimentResult {
 };
 
 struct ExperimentOptions {
+  /// Options for the SAT analysis passes.  `analysis.num_threads` and
+  /// `analysis.resolve_counts` are overridden per pass: see
+  /// `num_threads` below, and counts are resolved only where a figure
+  /// reads them (Figure 4's histogram), lazily elsewhere.
   tomo::AnalysisOptions analysis;
+  /// Worker threads for the CNF analysis batches (the experiment's
+  /// dominant cost).  0 = hardware concurrency, 1 = exact old serial
+  /// behavior.  Results are identical for every value.
+  unsigned num_threads = 0;
   /// Evidence threshold for declaring an AS a censor (distinct
   /// (URL, anomaly) pairs with unique-solution CNFs); filters one-off
   /// detector false positives.

@@ -1,112 +1,33 @@
 #include "sat/enumerate.h"
 
-#include <algorithm>
-
-#include "sat/solver.h"
+#include "sat/session.h"
 
 namespace ct::sat {
 
-namespace {
-
-std::vector<Var> default_projection(const Cnf& cnf, const std::vector<Var>& projection) {
-  if (!projection.empty()) return projection;
-  std::vector<Var> vars(static_cast<std::size_t>(cnf.num_vars));
-  for (std::int32_t v = 0; v < cnf.num_vars; ++v) vars[static_cast<std::size_t>(v)] = v;
-  return vars;
-}
-
-std::vector<Lit> project_model(const Solver& solver, const std::vector<Var>& projection) {
-  std::vector<Lit> model;
-  model.reserve(projection.size());
-  for (const Var v : projection) {
-    model.emplace_back(v, solver.model_value(v) != LBool::kTrue);
-  }
-  return model;
-}
-
-}  // namespace
+// The free functions are thin conveniences over a throwaway
+// SolverSession; callers with more than one question about the same CNF
+// should hold a session themselves (see session.h).
 
 EnumerateResult enumerate_models(const Cnf& cnf, const EnumerateOptions& options) {
-  EnumerateResult result;
-  const std::vector<Var> projection = default_projection(cnf, options.projection);
-
-  Solver solver;
-  if (!solver.add_cnf(cnf)) return result;
-
-  while (solver.solve() == SolveResult::kSat) {
-    std::vector<Lit> model = project_model(solver, projection);
-    // Blocking clause: negate the projected assignment.
-    std::vector<Lit> block;
-    block.reserve(model.size());
-    for (const Lit l : model) block.push_back(~l);
-    result.models.push_back(std::move(model));
-    if (options.max_models != 0 && result.models.size() >= options.max_models) {
-      // There might be more models; probe once to set `truncated` honestly.
-      if (solver.add_clause(block) && solver.solve() == SolveResult::kSat) {
-        result.truncated = true;
-      }
-      return result;
-    }
-    if (!solver.add_clause(block)) break;  // blocking clause made it UNSAT
-  }
-  return result;
+  SolverSession session(cnf);
+  return session.enumerate(options);
 }
 
 std::uint64_t count_models_capped(const Cnf& cnf, std::uint64_t cap,
                                   const std::vector<Var>& projection) {
-  EnumerateOptions options;
-  options.max_models = cap;
-  options.projection = projection;
-  const EnumerateResult r = enumerate_models(cnf, options);
-  return r.models.size();
+  SolverSession session(cnf);
+  return session.count_models_capped(cap, projection);
 }
 
 SolutionClassification classify_solution_count(const Cnf& cnf,
                                                const std::vector<Var>& projection) {
-  SolutionClassification out;
-  EnumerateOptions options;
-  options.max_models = 2;
-  options.projection = projection;
-  const EnumerateResult r = enumerate_models(cnf, options);
-  out.solution_class = static_cast<int>(std::min<std::size_t>(r.models.size(), 2));
-  if (out.solution_class == 1) out.unique_model = r.models.front();
-  return out;
+  SolverSession session(cnf);
+  return session.classify(projection);
 }
 
 PotentialTrueResult potential_true_vars(const Cnf& cnf, const std::vector<Var>& vars) {
-  PotentialTrueResult out;
-  const std::vector<Var> targets = default_projection(cnf, vars);
-
-  Solver solver;
-  if (!solver.add_cnf(cnf)) return out;
-  if (solver.solve() != SolveResult::kSat) return out;
-  out.satisfiable = true;
-
-  // Seed with the first model: everything already True there is settled.
-  std::vector<std::uint8_t> known_true(static_cast<std::size_t>(cnf.num_vars), 0);
-  for (std::int32_t v = 0; v < cnf.num_vars; ++v) {
-    if (solver.model_value(v) == LBool::kTrue) known_true[static_cast<std::size_t>(v)] = 1;
-  }
-
-  for (const Var v : targets) {
-    if (known_true[static_cast<std::size_t>(v)]) continue;
-    const Lit assume(v, /*negated=*/false);
-    if (solver.solve({assume}) == SolveResult::kSat) {
-      // Harvest the whole model: any variable True here is settled too.
-      for (std::int32_t w = 0; w < cnf.num_vars; ++w) {
-        if (solver.model_value(w) == LBool::kTrue) known_true[static_cast<std::size_t>(w)] = 1;
-      }
-    }
-  }
-
-  for (const Var v : targets) {
-    if (known_true[static_cast<std::size_t>(v)]) {
-      out.potential_true.push_back(v);
-    } else {
-      out.always_false.push_back(v);
-    }
-  }
-  return out;
+  SolverSession session(cnf);
+  return session.potential_true_vars(vars);
 }
 
 }  // namespace ct::sat

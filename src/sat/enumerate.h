@@ -14,6 +14,17 @@
 // potential_true_vars uses one assumption-based solve per undecided
 // variable, seeded with the models already found, which is much cheaper
 // than full enumeration when the model count is large.
+//
+// Architecture note: each free function below is a one-shot convenience
+// that builds a throwaway sat::SolverSession (session.h), asks one
+// question, and discards it.  The session is the real engine — it loads
+// the CNF into one incremental solver and serves classification,
+// enumeration (activation-literal-guarded blocking clauses, so
+// enumeration is retractable), and backbone probes from the same solver,
+// reusing learnt clauses across queries.  The tomography batch analyzer
+// (tomo::analyze_cnfs) holds one session per worker thread and reuses it
+// across CNFs; prefer that route anywhere more than one query per CNF is
+// made.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +58,8 @@ struct EnumerateResult {
 EnumerateResult enumerate_models(const Cnf& cnf, const EnumerateOptions& options = {});
 
 /// Number of models, counted exactly up to `cap` (enumeration-based).
-/// Returns cap if there are at least `cap` models.
+/// Returns cap if there are at least `cap` models; cap = 0 means no
+/// cap (exact total count).
 std::uint64_t count_models_capped(const Cnf& cnf, std::uint64_t cap,
                                   const std::vector<Var>& projection = {});
 

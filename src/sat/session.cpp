@@ -1,0 +1,202 @@
+#include "sat/session.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace ct::sat {
+
+namespace {
+
+std::vector<Var> all_vars(std::int32_t n) {
+  std::vector<Var> vars(static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v) vars[static_cast<std::size_t>(v)] = v;
+  return vars;
+}
+
+}  // namespace
+
+void SolverSession::load(const Cnf& cnf) {
+  solver_ = std::make_unique<Solver>();
+  solver_->add_cnf(cnf);  // a false return leaves the solver inconsistent,
+                          // which every query below handles via kUnsat
+  cnf_vars_ = cnf.num_vars;
+  projection_.clear();
+  full_projection_ = true;
+  activation_ = kUndefVar;
+  models_.clear();
+  exhausted_ = false;
+  base_sat_ = -1;
+  ++stats_.cnf_loads;
+}
+
+SolveResult SolverSession::solve(std::span<const Lit> assumptions) {
+  ++stats_.solve_calls;
+  return solver_->solve(assumptions);
+}
+
+bool SolverSession::satisfiable() {
+  if (base_sat_ < 0) {
+    if (!models_.empty()) {
+      base_sat_ = 1;
+    } else if (exhausted_) {
+      base_sat_ = 0;
+    } else {
+      base_sat_ = solve({}) == SolveResult::kSat ? 1 : 0;
+    }
+  }
+  return base_sat_ == 1;
+}
+
+void SolverSession::set_projection(const std::vector<Var>& projection) {
+  const std::vector<Var> wanted =
+      projection.empty() ? all_vars(cnf_vars_) : projection;
+  if (wanted == projection_ && (activation_ != kUndefVar || models_.empty())) {
+    return;  // enumeration state already matches
+  }
+  retract_enumeration();
+  projection_ = wanted;
+  full_projection_ = projection.empty();
+}
+
+void SolverSession::ensure_models(std::uint64_t want) {
+  while (!exhausted_ && models_.size() < want) {
+    if (activation_ == kUndefVar) activation_ = solver_->new_var();
+    const Lit guard(activation_, /*negated=*/false);
+    const std::array<Lit, 1> guard_assumption{guard};
+    if (solve(guard_assumption) != SolveResult::kSat) {
+      exhausted_ = true;
+      break;
+    }
+    base_sat_ = 1;
+    std::vector<Lit> model;
+    model.reserve(projection_.size());
+    std::vector<Lit> block;
+    block.reserve(projection_.size() + 1);
+    block.push_back(~guard);
+    for (const Var v : projection_) {
+      const Lit l(v, solver_->model_value(v) != LBool::kTrue);
+      model.push_back(l);
+      block.push_back(~l);
+    }
+    models_.push_back(std::move(model));
+    ++stats_.models_found;
+    ++stats_.blocking_clauses;
+    if (!solver_->add_clause(block)) {
+      exhausted_ = true;  // blocking clause revealed level-0 UNSAT
+      break;
+    }
+  }
+  if (exhausted_ && base_sat_ < 0) base_sat_ = models_.empty() ? 0 : 1;
+}
+
+EnumerateResult SolverSession::enumerate(const EnumerateOptions& options) {
+  set_projection(options.projection);
+  EnumerateResult result;
+  if (options.max_models == 0) {
+    ensure_models(std::numeric_limits<std::uint64_t>::max());
+    result.models = models_;
+    result.truncated = false;
+    return result;
+  }
+  // Probe one model past the cap so `truncated` is honest; the probe
+  // model stays cached for later, larger queries.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  ensure_models(options.max_models == kMax ? kMax : options.max_models + 1);
+  const std::size_t take =
+      std::min<std::size_t>(models_.size(), options.max_models);
+  result.models.assign(models_.begin(),
+                       models_.begin() + static_cast<std::ptrdiff_t>(take));
+  result.truncated = models_.size() > take;
+  return result;
+}
+
+std::uint64_t SolverSession::count_models_capped(std::uint64_t cap,
+                                                const std::vector<Var>& projection) {
+  set_projection(projection);
+  if (cap == 0) {  // 0 = no cap, as in EnumerateOptions::max_models
+    ensure_models(std::numeric_limits<std::uint64_t>::max());
+    return models_.size();
+  }
+  ensure_models(cap);
+  return std::min<std::uint64_t>(models_.size(), cap);
+}
+
+SolutionClassification SolverSession::classify(const std::vector<Var>& projection) {
+  set_projection(projection);
+  ensure_models(2);
+  SolutionClassification out;
+  out.solution_class = static_cast<int>(std::min<std::size_t>(models_.size(), 2));
+  if (out.solution_class == 1) out.unique_model = models_.front();
+  return out;
+}
+
+PotentialTrueResult SolverSession::potential_true_vars(const std::vector<Var>& vars) {
+  PotentialTrueResult out;
+  const std::vector<Var> targets = vars.empty() ? all_vars(cnf_vars_) : vars;
+
+  if (base_sat_ == 0 || (exhausted_ && models_.empty())) {
+    base_sat_ = 0;
+    return out;
+  }
+
+  std::vector<std::uint8_t> known_true(static_cast<std::size_t>(cnf_vars_), 0);
+  const auto harvest = [&] {
+    for (std::int32_t v = 0; v < cnf_vars_; ++v) {
+      if (solver_->model_value(v) == LBool::kTrue) {
+        known_true[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  };
+
+  if (full_projection_ && !models_.empty()) {
+    // Models cached by enumeration over the full variable set are
+    // genuine models of the CNF; seed from them and skip the base
+    // solve (the common path after classify() on class-2 CNFs).
+    for (const auto& model : models_) {
+      for (const Lit l : model) {
+        if (!l.negated()) known_true[static_cast<std::size_t>(l.var())] = 1;
+      }
+    }
+  } else {
+    // The base solve doubles as the seed model.  Blocking clauses do
+    // not constrain it: their guard is free to be False, so any model
+    // of the original CNF (restricted to CNF variables) remains
+    // reachable.
+    if (solve({}) != SolveResult::kSat) {
+      base_sat_ = 0;
+      return out;
+    }
+    harvest();
+  }
+  base_sat_ = 1;
+  out.satisfiable = true;
+
+  for (const Var v : targets) {
+    if (known_true[static_cast<std::size_t>(v)]) continue;
+    const Lit assume(v, /*negated=*/false);
+    const std::array<Lit, 1> assumption{assume};
+    if (solve(assumption) == SolveResult::kSat) harvest();
+  }
+
+  for (const Var v : targets) {
+    if (known_true[static_cast<std::size_t>(v)]) {
+      out.potential_true.push_back(v);
+    } else {
+      out.always_false.push_back(v);
+    }
+  }
+  return out;
+}
+
+void SolverSession::retract_enumeration() {
+  if (activation_ != kUndefVar) {
+    solver_->retract_activation(activation_);
+    activation_ = kUndefVar;
+    ++stats_.retractions;
+  }
+  models_.clear();
+  exhausted_ = false;
+}
+
+}  // namespace ct::sat

@@ -1,0 +1,119 @@
+// SolverSession: every tomography query against one CNF, on one
+// incremental solver.
+//
+// The tomography engine asks three kinds of questions about the same
+// formula — 0/1/2+ classification, model enumeration up to a cap, and
+// backbone-style "can this variable ever be True" probes.  Loading the
+// CNF into a fresh Solver per question throws away the CDCL solver's
+// learnt clauses, VSIDS activities, and saved phases exactly when they
+// are most useful.  A SolverSession loads the CNF once and serves all
+// queries from the same solver:
+//
+//   * enumerate() adds blocking clauses guarded by an activation
+//     literal `a` — each is (~a v ~model) and is enforced only while
+//     enumeration solves under assumption a.  Because `a` never occurs
+//     positively, the guard also rides along on every learnt clause
+//     derived from a blocking clause, so later assumption-based queries
+//     (and fresh enumerations after retract_enumeration()) see the
+//     original formula, not an enumeration-poisoned one.
+//   * Found models accumulate monotonically: classify() is
+//     enumerate(2), count_models_capped(k) extends the same enumeration
+//     from wherever it stopped, so raising a cap never re-derives
+//     earlier models.
+//   * potential_true_vars() runs one assumption solve per undecided
+//     variable, harvesting every returned model; blocking clauses do
+//     not constrain these solves since `a` is free to be False.
+//
+// A session is single-threaded; for batch parallelism, give each worker
+// its own session and reuse it across CNFs via load() (the "session
+// arena" pattern in tomo::analyze_cnfs).  stats().cnf_loads counts
+// load() calls across the arena's lifetime, which is how tests assert
+// the one-load-per-verdict property.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sat/enumerate.h"
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace ct::sat {
+
+/// Cumulative session counters (survive load(), i.e. per-arena).
+struct SessionStats {
+  std::uint64_t cnf_loads = 0;
+  std::uint64_t solve_calls = 0;
+  std::uint64_t models_found = 0;
+  std::uint64_t blocking_clauses = 0;
+  std::uint64_t retractions = 0;
+};
+
+class SolverSession {
+ public:
+  SolverSession() = default;
+  explicit SolverSession(const Cnf& cnf) { load(cnf); }
+
+  SolverSession(const SolverSession&) = delete;
+  SolverSession& operator=(const SolverSession&) = delete;
+
+  /// (Re)loads a CNF, dropping all state of the previous one.  Counts
+  /// one cnf_load; other counters keep accumulating.
+  void load(const Cnf& cnf);
+  bool loaded() const { return solver_ != nullptr; }
+
+  /// Satisfiability of the loaded CNF (cached after the first call).
+  bool satisfiable();
+
+  /// Models of the CNF, projected onto `projection` (all variables when
+  /// empty), with the same semantics as sat::enumerate_models.
+  /// Successive calls extend one incremental enumeration while the
+  /// projection is unchanged; changing the projection retracts and
+  /// restarts it.
+  EnumerateResult enumerate(const EnumerateOptions& options = {});
+
+  /// Exact (projected) model count up to `cap`; returns cap if there
+  /// are at least `cap` models.  cap = 0 means no cap (exact total
+  /// count — beware exponential blowup).  Extends the same enumeration
+  /// as enumerate()/classify().
+  std::uint64_t count_models_capped(std::uint64_t cap,
+                                    const std::vector<Var>& projection = {});
+
+  /// Cheap 0 / 1 / 2+ classification (at most two models enumerated).
+  SolutionClassification classify(const std::vector<Var>& projection = {});
+
+  /// For each variable in `vars` (all CNF variables if empty), whether
+  /// any model assigns it True.  Unaffected by enumeration state.
+  PotentialTrueResult potential_true_vars(const std::vector<Var>& vars = {});
+
+  /// Drops all blocking clauses (via Solver::retract_activation) and
+  /// forgets cached models; the next enumerate() starts from scratch.
+  void retract_enumeration();
+
+  const SessionStats& stats() const { return stats_; }
+  const SolverStats& solver_stats() const {
+    static const SolverStats kUnloaded{};
+    return solver_ ? solver_->stats() : kUnloaded;
+  }
+
+ private:
+  SolveResult solve(std::span<const Lit> assumptions);
+  /// Grows the model cache to >= want models or exhaustion.
+  void ensure_models(std::uint64_t want);
+  /// Points the enumeration state at `projection`, retracting if it
+  /// changed.
+  void set_projection(const std::vector<Var>& projection);
+
+  std::unique_ptr<Solver> solver_;  // rebuilt by load(); Solver is not movable
+  std::int32_t cnf_vars_ = 0;
+  std::vector<Var> projection_;          // active enumeration projection
+  bool full_projection_ = true;          // projection_ covers every CNF variable
+  Var activation_ = kUndefVar;           // guard for the blocking clauses
+  std::vector<std::vector<Lit>> models_;  // discovery order, projected
+  bool exhausted_ = false;                // no models beyond models_
+  std::int8_t base_sat_ = -1;             // -1 unknown, else 0/1
+  SessionStats stats_;
+};
+
+}  // namespace ct::sat

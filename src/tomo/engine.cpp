@@ -4,28 +4,39 @@
 #include <map>
 #include <set>
 
-#include "sat/enumerate.h"
+#include "util/thread_pool.h"
 
 namespace ct::tomo {
 
-CnfVerdict analyze_cnf(const TomoCnf& tc, const AnalysisOptions& options) {
+CnfVerdict CnfAnalyzer::analyze(const TomoCnf& tc, const AnalysisOptions& options) {
   CnfVerdict verdict;
   verdict.key = tc.key;
   verdict.num_vars = tc.vars.size();
 
-  sat::EnumerateOptions enum_options;
-  enum_options.max_models = std::max<std::uint64_t>(options.count_cap, 2);
-  const sat::EnumerateResult models = sat::enumerate_models(tc.cnf, enum_options);
-  verdict.capped_count = std::min<std::uint64_t>(models.models.size(), options.count_cap);
-  verdict.solution_class = static_cast<int>(std::min<std::size_t>(models.models.size(), 2));
+  session_.load(tc.cnf);  // the one load this verdict is allowed
+
+  // Class first: at most two models enumerated.  Counts beyond 2 are
+  // resolved lazily — class-0/1 CNFs already have their exact count, and
+  // class-2 CNFs only pay for the full cap when a caller (Figure 4)
+  // actually reads the histogram.
+  const sat::SolutionClassification cls = session_.classify();
+  verdict.solution_class = cls.solution_class;
+  if (options.resolve_counts && verdict.solution_class == 2 && options.count_cap > 2) {
+    verdict.capped_count = session_.count_models_capped(options.count_cap);
+  } else {
+    // Classification already counted exactly up to 2 (count_cap = 0
+    // keeps the historical "always 0" result).
+    verdict.capped_count = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(verdict.solution_class), options.count_cap);
+  }
 
   if (verdict.solution_class == 1) {
-    for (const sat::Lit l : models.models.front()) {
+    for (const sat::Lit l : *cls.unique_model) {
       if (!l.negated()) verdict.censors.push_back(tc.vars[static_cast<std::size_t>(l.var())]);
     }
     std::sort(verdict.censors.begin(), verdict.censors.end());
   } else if (verdict.solution_class == 2) {
-    const sat::PotentialTrueResult split = sat::potential_true_vars(tc.cnf);
+    const sat::PotentialTrueResult split = session_.potential_true_vars();
     for (const sat::Var v : split.potential_true) {
       verdict.potential_censors.push_back(tc.vars[static_cast<std::size_t>(v)]);
     }
@@ -43,11 +54,47 @@ CnfVerdict analyze_cnf(const TomoCnf& tc, const AnalysisOptions& options) {
   return verdict;
 }
 
+CnfVerdict analyze_cnf(const TomoCnf& tc, const AnalysisOptions& options) {
+  CnfAnalyzer arena;
+  return arena.analyze(tc, options);
+}
+
+namespace {
+
+void accumulate(EngineStats* stats, const sat::SessionStats& s) {
+  if (stats == nullptr) return;
+  stats->cnf_loads += s.cnf_loads;
+  stats->solve_calls += s.solve_calls;
+  stats->models_found += s.models_found;
+  ++stats->arenas;
+}
+
+}  // namespace
+
 std::vector<CnfVerdict> analyze_cnfs(const std::vector<TomoCnf>& cnfs,
-                                     const AnalysisOptions& options) {
-  std::vector<CnfVerdict> out;
-  out.reserve(cnfs.size());
-  for (const TomoCnf& tc : cnfs) out.push_back(analyze_cnf(tc, options));
+                                     const AnalysisOptions& options,
+                                     EngineStats* stats) {
+  if (stats != nullptr) *stats = EngineStats{};
+  std::vector<CnfVerdict> out(cnfs.size());
+
+  unsigned threads =
+      options.num_threads == 0 ? util::ThreadPool::hardware_threads() : options.num_threads;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(cnfs.size(), 1)));
+
+  if (threads <= 1) {
+    CnfAnalyzer arena;
+    for (std::size_t i = 0; i < cnfs.size(); ++i) out[i] = arena.analyze(cnfs[i], options);
+    accumulate(stats, arena.session_stats());
+    return out;
+  }
+
+  util::ThreadPool pool(threads);
+  std::vector<CnfAnalyzer> arenas(pool.size());
+  pool.for_each_index(cnfs.size(), [&](unsigned worker, std::size_t i) {
+    out[i] = arenas[worker].analyze(cnfs[i], options);
+  });
+  for (const CnfAnalyzer& arena : arenas) accumulate(stats, arena.session_stats());
   return out;
 }
 

@@ -8,12 +8,25 @@
 //   2+ — underconstrained: every AS that is True in at least one model
 //        is a *potential* censor; ASes False in every model are
 //        *definite non-censors* (the paper's >95% reduction).
+//
+// Architecture note (session + batching model): every verdict is
+// computed on a sat::SolverSession that loads the CNF exactly once and
+// serves classification, lazy capped counting, and backbone probes from
+// the same incremental solver.  A CnfAnalyzer is the per-worker "session
+// arena": it owns one session and reuses it across CNFs via load(), so
+// its cumulative SessionStats expose the one-load-per-verdict invariant.
+// analyze_cnfs schedules a batch across a util::ThreadPool (work
+// stealing, one arena per worker) and writes verdict i into slot i, so
+// the output vector is byte-identical for any num_threads — including
+// num_threads == 1, which runs inline on the calling thread with no
+// threads spawned.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "censor/policy.h"
+#include "sat/session.h"
 #include "tomo/cnf_builder.h"
 
 namespace ct::tomo {
@@ -22,6 +35,16 @@ struct AnalysisOptions {
   /// Models are enumerated up to this cap; Figure 4 plots 0..5+ so the
   /// default resolves counts up to 6.
   std::uint64_t count_cap = 6;
+  /// When false, enumeration stops as soon as the 0/1/2+ class is known
+  /// and `capped_count` is only exact up to 2 (min(count, 2, count_cap)).
+  /// Callers that never read counts beyond the class (Figures 1/2,
+  /// censor identification, leakage) should clear this; only Figure 4
+  /// needs the full histogram.
+  bool resolve_counts = true;
+  /// Worker threads for analyze_cnfs: 1 = serial on the calling thread
+  /// (exact old behavior), 0 = hardware concurrency.  Verdicts are
+  /// independent of this value.
+  unsigned num_threads = 1;
 };
 
 struct CnfVerdict {
@@ -29,7 +52,8 @@ struct CnfVerdict {
   std::size_t num_vars = 0;
   /// 0, 1, or 2 (= two or more solutions).
   int solution_class = 0;
-  /// Exact model count up to the cap (== cap means "cap or more").
+  /// Exact model count up to the cap (== cap means "cap or more"); see
+  /// AnalysisOptions::resolve_counts for the lazy variant.
   std::uint64_t capped_count = 0;
   /// solution_class == 1: exactly identified censoring ASes.
   std::vector<topo::AsId> censors;
@@ -41,12 +65,35 @@ struct CnfVerdict {
   double reduction_fraction = 0.0;
 };
 
-/// Analyzes one CNF.
+/// Aggregate counters for a batch analysis (summed over all arenas).
+struct EngineStats {
+  std::uint64_t cnf_loads = 0;
+  std::uint64_t solve_calls = 0;
+  std::uint64_t models_found = 0;
+  unsigned arenas = 0;  // worker sessions used
+};
+
+/// Per-worker session arena: one reusable SolverSession, loaded once per
+/// analyzed CNF.
+class CnfAnalyzer {
+ public:
+  CnfVerdict analyze(const TomoCnf& tc, const AnalysisOptions& options = {});
+  const sat::SessionStats& session_stats() const { return session_.stats(); }
+
+ private:
+  sat::SolverSession session_;
+};
+
+/// Analyzes one CNF on a throwaway arena.
 CnfVerdict analyze_cnf(const TomoCnf& tc, const AnalysisOptions& options = {});
 
-/// Analyzes a batch.
+/// Analyzes a batch, possibly in parallel (options.num_threads); the
+/// result order matches `cnfs` and is independent of the thread count.
+/// When `stats` is non-null it receives counters summed over all worker
+/// arenas (stats->cnf_loads == cnfs.size() always holds).
 std::vector<CnfVerdict> analyze_cnfs(const std::vector<TomoCnf>& cnfs,
-                                     const AnalysisOptions& options = {});
+                                     const AnalysisOptions& options = {},
+                                     EngineStats* stats = nullptr);
 
 /// Union of exactly-identified censors across single-solution verdicts,
 /// sorted ascending.

@@ -197,6 +197,31 @@ TEST(ExperimentDeterminism, SameSeedSameResult) {
   EXPECT_EQ(r1.fig1.overall.count, r2.fig1.overall.count);
 }
 
+TEST(ExperimentDeterminism, ThreadCountDoesNotChangeResults) {
+  ScenarioConfig config = small_scenario();
+  config.platform.num_days = util::kDaysPerWeek;
+  Scenario s1(config), s2(config);
+  ExperimentOptions serial;
+  serial.num_threads = 1;
+  ExperimentOptions parallel;
+  parallel.num_threads = 4;
+  const ExperimentResult r1 = run_experiment(s1, serial);
+  const ExperimentResult r2 = run_experiment(s2, parallel);
+  EXPECT_EQ(r1.total_cnfs, r2.total_cnfs);
+  EXPECT_EQ(r1.identified_censors, r2.identified_censors);
+  EXPECT_EQ(r1.fig1.overall.count, r2.fig1.overall.count);
+  EXPECT_EQ(r1.fig2.reduction_percent, r2.fig2.reduction_percent);
+  EXPECT_DOUBLE_EQ(r1.fig4.fraction_five_plus, r2.fig4.fraction_five_plus);
+  for (const auto& [g, counts] : r1.fig4.solution_counts) {
+    const auto& other = r2.fig4.solution_counts.at(g);
+    ASSERT_EQ(counts.max_exact(), other.max_exact());
+    for (int v = 0; v <= counts.max_exact(); ++v) {
+      EXPECT_EQ(counts.count(v), other.count(v));
+    }
+    EXPECT_EQ(counts.overflow(), other.overflow());
+  }
+}
+
 TEST(Scenario, DefaultAndSmallConfigsConstruct) {
   // default_scenario is heavyweight to *run* but cheap to *construct*.
   Scenario small(small_scenario());
