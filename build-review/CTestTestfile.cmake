@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/ct_util_tests[1]_include.cmake")
+include("/root/repo/build-review/ct_net_tests[1]_include.cmake")
+include("/root/repo/build-review/ct_topo_tests[1]_include.cmake")
+include("/root/repo/build-review/ct_bgp_tests[1]_include.cmake")
+include("/root/repo/build-review/ct_censor_tests[1]_include.cmake")
+include("/root/repo/build-review/ct_sat_tests[1]_include.cmake")
+include("/root/repo/build-review/ct_tomo_tests[1]_include.cmake")
+include("/root/repo/build-review/ct_iclab_tests[1]_include.cmake")
+include("/root/repo/build-review/ct_analysis_tests[1]_include.cmake")
