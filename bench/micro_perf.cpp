@@ -4,8 +4,13 @@
 // building.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "analysis/platform_sinks.h"
 #include "analysis/scenario.h"
 #include "bgp/routing.h"
+#include "iclab/platform.h"
+#include "util/thread_pool.h"
 #include "net/traceroute.h"
 #include "sat/counter.h"
 #include "sat/enumerate.h"
@@ -229,6 +234,34 @@ void BM_AnalyzeCnfsBatch(benchmark::State& state) {
   state.counters["cnfs"] = static_cast<double>(cnfs.size());
 }
 BENCHMARK(BM_AnalyzeCnfsBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+// Sharded platform execution: the full default-scenario measurement run
+// (platform simulation + clause building + churn/truth tracking, the
+// pipeline's other serial wall) split into (vantage, day) shards on a
+// thread pool.  Arg = shard count (0 = hardware concurrency).  The
+// merged, canonicalized sink contents are bit-identical at every arg —
+// only wall-clock should move.  One iteration simulates the whole year,
+// so the benchmark pins Iterations(1).
+void BM_PlatformSharded(benchmark::State& state) {
+  static analysis::Scenario* scenario = new analysis::Scenario(analysis::default_scenario());
+
+  const unsigned shards = state.range(0) == 0
+                              ? util::ThreadPool::hardware_threads()
+                              : static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    // The exact pipeline run_experiment executes for its platform half.
+    const auto sinks = analysis::run_platform(*scenario, shards);
+    benchmark::DoNotOptimize(sinks->clause_builder.clauses().size());
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_PlatformSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
 
 void BM_ClauseBuild(benchmark::State& state) {
   const net::TracerouteEngine engine(bench_plan(), {});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 
 #include "util/rng.h"
 
@@ -31,11 +32,7 @@ PathChurnTracker::PathChurnTracker(const topo::AsGraph& graph,
       epochs_per_day_(epochs_per_day) {
   for (std::size_t i = 0; i < vantages_.size(); ++i) vantage_index_[vantages_[i]] = i;
   for (std::size_t i = 0; i < dests_.size(); ++i) dest_index_[dests_[i]] = i;
-  signatures_.assign(vantages_.size() * dests_.size(),
-                     std::vector<std::uint64_t>(
-                         static_cast<std::size_t>(num_days) *
-                             static_cast<std::size_t>(epochs_per_day),
-                         0));
+  signatures_.assign(vantages_.size() * dests_.size(), {});
 }
 
 void PathChurnTracker::on_path(util::Day day, std::int32_t epoch, topo::AsId vantage,
@@ -46,7 +43,32 @@ void PathChurnTracker::on_path(util::Day day, std::int32_t epoch, topo::AsId van
   if (day < 0 || day >= num_days_ || epoch < 0 || epoch >= epochs_per_day_) return;
   const auto slot = static_cast<std::size_t>(day) * static_cast<std::size_t>(epochs_per_day_) +
                     static_cast<std::size_t>(epoch);
-  signatures_[pair_index(vi->second, di->second)][slot] = path_signature(path);
+  auto& row = signatures_[pair_index(vi->second, di->second)];
+  if (row.empty()) {
+    row.assign(static_cast<std::size_t>(num_days_) *
+                   static_cast<std::size_t>(epochs_per_day_),
+               0);
+  }
+  row[slot] = path_signature(path);
+}
+
+void PathChurnTracker::merge(PathChurnTracker&& other) {
+  if (vantages_ != other.vantages_ || dests_ != other.dests_ ||
+      num_days_ != other.num_days_ || epochs_per_day_ != other.epochs_per_day_) {
+    throw std::invalid_argument("PathChurnTracker::merge: geometry mismatch");
+  }
+  for (std::size_t p = 0; p < signatures_.size(); ++p) {
+    auto& mine = signatures_[p];
+    auto& theirs = other.signatures_[p];
+    if (theirs.empty()) continue;
+    if (mine.empty()) {
+      mine = std::move(theirs);
+      continue;
+    }
+    for (std::size_t t = 0; t < mine.size(); ++t) {
+      if (mine[t] == 0) mine[t] = theirs[t];
+    }
+  }
 }
 
 ChurnStats PathChurnTracker::compute() const {
@@ -62,6 +84,7 @@ ChurnStats PathChurnTracker::compute() const {
                                       static_cast<std::size_t>(epochs_per_day_);
 
     for (const auto& sigs : signatures_) {
+      if (sigs.empty()) continue;  // pair never observed
       for (std::size_t start = 0; start < epochs_total; start += window_epochs) {
         const std::size_t end = std::min(start + window_epochs, epochs_total);
         std::set<std::uint64_t> distinct;

@@ -39,6 +39,14 @@ class PathChurnTracker : public iclab::MeasurementSink {
   void on_path(util::Day day, std::int32_t epoch, topo::AsId vantage, topo::AsId dest,
                const std::vector<topo::AsId>& path) override;
 
+  /// Folds a shard-local tracker into this one.  Both trackers must
+  /// share geometry (vantages, destinations, days, epochs); for every
+  /// (pair, epoch) slot the non-empty recording wins (this tracker's on
+  /// the rare overlap).  Associative and commutative over trackers with
+  /// disjoint (vantage, day) coverage — the platform-shard case — with
+  /// a fresh tracker as identity.
+  void merge(PathChurnTracker&& other);
+
   /// Computes the Figure-3 statistics from everything recorded so far.
   ChurnStats compute() const;
 
@@ -57,7 +65,9 @@ class PathChurnTracker : public iclab::MeasurementSink {
   std::map<topo::AsId, std::size_t> dest_index_;
   util::Day num_days_;
   std::int32_t epochs_per_day_;
-  /// signatures_[pair][epoch]; 0 = unreachable / not recorded.
+  /// signatures_[pair][epoch]; 0 = unreachable / not recorded.  A pair's
+  /// row stays empty (no allocation) until its first on_path — platform
+  /// shards covering a vantage slice only ever touch their own rows.
   std::vector<std::vector<std::uint64_t>> signatures_;
 };
 

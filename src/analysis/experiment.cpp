@@ -1,41 +1,16 @@
 #include "analysis/experiment.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
+#include <utility>
+#include <vector>
+
+#include "analysis/platform_sinks.h"
 
 namespace ct::analysis {
 
 namespace {
-
-/// Records which ground-truth censors actually produced at least one
-/// detected anomaly during the run ("observable" censors: the best any
-/// inference could do).
-class TruthTracker : public iclab::MeasurementSink {
- public:
-  TruthTracker(const censor::CensorRegistry& registry, const iclab::Platform& platform)
-      : registry_(registry), platform_(platform) {}
-
-  void on_measurement(const iclab::Measurement& m) override {
-    if (m.unreachable) return;
-    for (const censor::Anomaly a : censor::kAllAnomalies) {
-      const auto ai = static_cast<std::size_t>(a);
-      if (!m.truth_censored[ai] || !m.detected[ai]) continue;
-      const auto& url = platform_.urls()[static_cast<std::size_t>(m.url_id)];
-      const topo::AsId censor =
-          registry_.first_censor_on_path(m.truth_path, url.category, a, m.day);
-      if (censor != topo::kInvalidAs) observable_.insert(censor);
-    }
-  }
-
-  std::vector<topo::AsId> observable() const {
-    return {observable_.begin(), observable_.end()};
-  }
-
- private:
-  const censor::CensorRegistry& registry_;
-  const iclab::Platform& platform_;
-  std::set<topo::AsId> observable_;
-};
 
 Fig1Data make_fig1(const std::vector<tomo::CnfVerdict>& verdicts,
                    const std::vector<util::Granularity>& granularities) {
@@ -200,20 +175,13 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
   const auto& graph = scenario.graph();
   iclab::Platform& platform = scenario.platform();
 
-  // --- run the platform through all sinks ---
-  iclab::DatasetSummary summary(graph);
-  tomo::ClauseBuilder clause_builder(scenario.ip2as());
-  PathChurnTracker churn_tracker(graph, platform.vantages(), platform.dest_ases(),
-                                 platform.config().num_days,
-                                 platform.config().epochs_per_day);
-  TruthTracker truth_tracker(scenario.registry(), platform);
-
-  iclab::SinkFanout fanout;
-  fanout.add(&summary);
-  fanout.add(&clause_builder);
-  fanout.add(&churn_tracker);
-  fanout.add(&truth_tracker);
-  platform.run(fanout);
+  // --- run the platform through all sinks (serial or sharded) ---
+  const std::unique_ptr<PlatformSinks> sinks =
+      run_platform(scenario, options.num_platform_shards);
+  const iclab::DatasetSummary& summary = sinks->summary;
+  const tomo::ClauseBuilder& clause_builder = sinks->clause_builder;
+  const PathChurnTracker& churn_tracker = sinks->churn_tracker;
+  const TruthTracker& truth_tracker = sinks->truth_tracker;
 
   ExperimentResult result;
 

@@ -33,6 +33,8 @@ struct Table1Data {
   std::int64_t unreachable = 0;
   std::array<std::int64_t, censor::kNumAnomalies> anomaly_counts{};
   tomo::ClauseBuildStats clause_stats;
+
+  bool operator==(const Table1Data&) const = default;
 };
 
 /// Solution-class tally for one slice of CNFs (Figure 1).
@@ -45,6 +47,8 @@ struct SolutionSplit {
                         : static_cast<double>(count[static_cast<std::size_t>(cls)]) /
                               static_cast<double>(total());
   }
+
+  bool operator==(const SolutionSplit&) const = default;
 };
 
 struct Fig1Data {
@@ -54,6 +58,8 @@ struct Fig1Data {
   std::map<censor::Anomaly, SolutionSplit> by_anomaly;
   /// Headline numbers: fractions over all CNFs.
   SolutionSplit overall;
+
+  bool operator==(const Fig1Data&) const = default;
 };
 
 /// Figure 2: candidate-set reduction in multi-solution CNFs.
@@ -134,6 +140,14 @@ struct ExperimentOptions {
   /// dominant cost).  0 = hardware concurrency, 1 = exact old serial
   /// behavior.  Results are identical for every value.
   unsigned num_threads = 0;
+  /// Shards for the measurement-platform run + clause building (the
+  /// pipeline's other serial wall).  The schedule is partitioned into
+  /// (vantage, day) ranges executed concurrently on a thread pool, each
+  /// streaming into shard-local sinks that are merged and canonicalized
+  /// afterwards.  1 = serial platform run, 0 = hardware concurrency.
+  /// Per-cell RNG streams keyed on schedule coordinates make the result
+  /// bit-identical for every value (see README "Sharded execution").
+  unsigned num_platform_shards = 1;
   /// Evidence threshold for declaring an AS a censor (distinct
   /// (URL, anomaly) pairs with unique-solution CNFs); filters one-off
   /// detector false positives.

@@ -1,0 +1,45 @@
+#include "analysis/platform_sinks.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace ct::analysis {
+
+std::unique_ptr<PlatformSinks> run_platform(Scenario& scenario, unsigned num_shards) {
+  iclab::Platform& platform = scenario.platform();
+  const unsigned shards =
+      num_shards == 0 ? util::ThreadPool::hardware_threads() : num_shards;
+  if (shards <= 1) {
+    auto sinks = std::make_unique<PlatformSinks>(scenario);
+    platform.run(sinks->fanout);
+    return sinks;
+  }
+
+  const std::vector<iclab::ShardRange> ranges =
+      iclab::plan_shards(platform.config().num_days,
+                         static_cast<std::int32_t>(platform.vantages().size()),
+                         static_cast<std::int32_t>(shards));
+  std::vector<std::unique_ptr<PlatformSinks>> shard_sinks;
+  std::vector<iclab::MeasurementSink*> targets;
+  shard_sinks.reserve(ranges.size());
+  targets.reserve(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    shard_sinks.push_back(std::make_unique<PlatformSinks>(scenario));
+    targets.push_back(&shard_sinks.back()->fanout);
+  }
+  platform.run_shards(ranges, targets,
+                      std::min(shards, util::ThreadPool::hardware_threads()));
+
+  // Fold shards in plan order, then restore canonical clause order —
+  // after this the contents are indistinguishable from a serial run's.
+  for (std::size_t i = 1; i < shard_sinks.size(); ++i) {
+    shard_sinks[0]->merge(std::move(*shard_sinks[i]));
+    shard_sinks[i].reset();  // cap peak memory at ~2x the serial run
+  }
+  shard_sinks[0]->clause_builder.canonicalize();
+  return std::move(shard_sinks[0]);
+}
+
+}  // namespace ct::analysis

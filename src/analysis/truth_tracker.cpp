@@ -1,0 +1,21 @@
+#include "analysis/truth_tracker.h"
+
+namespace ct::analysis {
+
+void TruthTracker::on_measurement(const iclab::Measurement& m) {
+  if (m.unreachable) return;
+  for (const censor::Anomaly a : censor::kAllAnomalies) {
+    const auto ai = static_cast<std::size_t>(a);
+    if (!m.truth_censored[ai] || !m.detected[ai]) continue;
+    const auto& url = platform_.urls()[static_cast<std::size_t>(m.url_id)];
+    const topo::AsId censor =
+        registry_.first_censor_on_path(m.truth_path, url.category, a, m.day);
+    if (censor != topo::kInvalidAs) observable_.insert(censor);
+  }
+}
+
+void TruthTracker::merge(TruthTracker&& other) {
+  observable_.insert(other.observable_.begin(), other.observable_.end());
+}
+
+}  // namespace ct::analysis

@@ -1,0 +1,42 @@
+// Ground-truth observability tracking (simulation-only superpower).
+//
+// TruthTracker attaches to the platform as a sink and records which
+// ground-truth censors actually produced at least one detected anomaly
+// during the run ("observable" censors: the best any inference could
+// do).  The experiment scores identified censors against both the full
+// ground truth and this observable subset.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "censor/policy.h"
+#include "iclab/platform.h"
+#include "topo/as_graph.h"
+
+namespace ct::analysis {
+
+class TruthTracker : public iclab::MeasurementSink {
+ public:
+  /// The registry and platform must outlive the tracker.
+  TruthTracker(const censor::CensorRegistry& registry, const iclab::Platform& platform)
+      : registry_(registry), platform_(platform) {}
+
+  void on_measurement(const iclab::Measurement& m) override;
+
+  /// Folds a shard-local tracker into this one (set union).
+  /// Associative and commutative, with a fresh tracker as identity.
+  void merge(TruthTracker&& other);
+
+  /// Sorted observable censor ASes.
+  std::vector<topo::AsId> observable() const {
+    return {observable_.begin(), observable_.end()};
+  }
+
+ private:
+  const censor::CensorRegistry& registry_;
+  const iclab::Platform& platform_;
+  std::set<topo::AsId> observable_;
+};
+
+}  // namespace ct::analysis

@@ -1,5 +1,7 @@
 #include "bgp/churn.h"
 
+#include <stdexcept>
+
 namespace ct::bgp {
 
 ChurnEngine::ChurnEngine(const topo::AsGraph& graph, const ChurnConfig& config,
@@ -26,6 +28,13 @@ std::int64_t ChurnEngine::advance() {
     }
   }
   return ++epoch_;
+}
+
+void ChurnEngine::advance_to(std::int64_t target_epoch) {
+  if (target_epoch < epoch_) {
+    throw std::invalid_argument("ChurnEngine::advance_to: cannot rewind");
+  }
+  while (epoch_ < target_epoch) advance();
 }
 
 }  // namespace ct::bgp

@@ -43,6 +43,15 @@ class ChurnEngine {
   /// the first call.
   std::int64_t advance();
 
+  /// Replays the process forward until epoch() == target_epoch.  The
+  /// link-state trajectory is a deterministic function of the seed, so a
+  /// freshly constructed engine advanced to epoch e is bit-identical to
+  /// one that arrived there one advance() at a time — this is how a
+  /// platform shard starting mid-year reconstructs the churn state of
+  /// its first epoch.  Throws std::invalid_argument when target_epoch is
+  /// behind the current epoch (the process cannot rewind).
+  void advance_to(std::int64_t target_epoch);
+
   std::int64_t epoch() const { return epoch_; }
   const std::vector<bool>& link_up() const { return up_; }
   std::int32_t links_down() const { return links_down_; }

@@ -187,4 +187,13 @@ RouteTable RouteComputer::compute(topo::AsId dest, const std::vector<bool>& link
   return table;
 }
 
+RouteTableSet::RouteTableSet(const RouteComputer& computer,
+                             const std::vector<topo::AsId>& dests,
+                             const std::vector<bool>& link_up) {
+  tables_.reserve(dests.size());
+  for (const topo::AsId dest : dests) {
+    tables_.push_back(computer.compute(dest, link_up));
+  }
+}
+
 }  // namespace ct::bgp

@@ -73,4 +73,24 @@ class RouteComputer {
   const topo::AsGraph& graph_;
 };
 
+/// Route tables toward a fixed destination list under one link state:
+/// the routing view of a single epoch.  Platform shards build one per
+/// epoch they simulate (and one extra to prime route-flutter history),
+/// so each shard owns an independent, read-only view instead of sharing
+/// mutable routing state.
+class RouteTableSet {
+ public:
+  RouteTableSet(const RouteComputer& computer, const std::vector<topo::AsId>& dests,
+                const std::vector<bool>& link_up);
+
+  std::size_t size() const { return tables_.size(); }
+  /// Table toward dests[dest_index].
+  const RouteTable& at(std::size_t dest_index) const {
+    return tables_.at(dest_index);
+  }
+
+ private:
+  std::vector<RouteTable> tables_;
+};
+
 }  // namespace ct::bgp

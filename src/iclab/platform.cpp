@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace ct::iclab {
 
 using censor::Anomaly;
@@ -153,13 +155,67 @@ Endpoints choose_endpoints(const topo::AsGraph& graph, const PlatformConfig& con
   return out;
 }
 
-void Platform::run(MeasurementSink& sink) {
+std::vector<ShardRange> plan_shard_grid(util::Day num_days, std::int32_t num_vantages,
+                                        std::int32_t day_chunks,
+                                        std::int32_t vantage_chunks) {
+  if (num_days < 1 || num_vantages < 1) {
+    throw std::invalid_argument("plan_shard_grid: empty schedule");
+  }
+  day_chunks = std::clamp(day_chunks, 1, num_days);
+  vantage_chunks = std::clamp(vantage_chunks, 1, num_vantages);
+  std::vector<ShardRange> out;
+  out.reserve(static_cast<std::size_t>(day_chunks) *
+              static_cast<std::size_t>(vantage_chunks));
+  for (std::int32_t dc = 0; dc < day_chunks; ++dc) {
+    ShardRange range;
+    range.day_begin = static_cast<util::Day>(
+        static_cast<std::int64_t>(num_days) * dc / day_chunks);
+    range.day_end = static_cast<util::Day>(
+        static_cast<std::int64_t>(num_days) * (dc + 1) / day_chunks);
+    for (std::int32_t vc = 0; vc < vantage_chunks; ++vc) {
+      range.vantage_begin = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(num_vantages) * vc / vantage_chunks);
+      range.vantage_end = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(num_vantages) * (vc + 1) / vantage_chunks);
+      out.push_back(range);
+    }
+  }
+  return out;
+}
+
+std::vector<ShardRange> plan_shards(util::Day num_days, std::int32_t num_vantages,
+                                    std::int32_t num_shards) {
+  if (num_shards < 1) throw std::invalid_argument("plan_shards: num_shards < 1");
+  const std::int32_t day_chunks = std::min(num_shards, num_days);
+  const std::int32_t vantage_chunks =
+      num_shards <= day_chunks ? 1 : (num_shards + day_chunks - 1) / day_chunks;
+  return plan_shard_grid(num_days, num_vantages, day_chunks, vantage_chunks);
+}
+
+void Platform::run(MeasurementSink& sink) const {
+  ShardRange all;
+  all.day_begin = 0;
+  all.day_end = config_.num_days;
+  all.vantage_begin = 0;
+  all.vantage_end = static_cast<std::int32_t>(vantages_.size());
+  run_shard(sink, all);
+}
+
+void Platform::run_shard(MeasurementSink& sink, const ShardRange& range) const {
+  if (range.day_begin < 0 || range.day_begin >= range.day_end ||
+      range.day_end > config_.num_days || range.vantage_begin < 0 ||
+      range.vantage_begin >= range.vantage_end ||
+      range.vantage_end > static_cast<std::int32_t>(vantages_.size())) {
+    throw std::invalid_argument("Platform::run_shard: range outside the schedule");
+  }
+
   bgp::ChurnEngine churn(graph_, config_.churn, seed_);
   const bgp::RouteComputer computer(graph_);
   const net::TracerouteEngine tracer(plan_, config_.traceroute);
+  const std::int64_t epochs_per_day = config_.epochs_per_day;
 
-  // URLs grouped by destination AS so each day computes one route table
-  // per destination.
+  // URLs grouped by destination AS so each epoch computes one route
+  // table per destination.
   std::vector<std::vector<std::int32_t>> urls_by_dest(dest_ases_.size());
   for (const auto& url : urls_) {
     const auto it = std::lower_bound(dest_ases_.begin(), dest_ases_.end(), url.dest_as);
@@ -167,10 +223,14 @@ void Platform::run(MeasurementSink& sink) {
   }
 
   const auto nodes = static_cast<std::size_t>(config_.vp_nodes_per_as);
+  const auto vantage_begin = static_cast<std::size_t>(range.vantage_begin);
+  const auto vantage_end = static_cast<std::size_t>(range.vantage_end);
 
-  // Previous-epoch paths per (vantage node, dest), for route flutter.
+  // Previous-epoch paths per (shard-local vantage node, dest), for route
+  // flutter.
   std::vector<std::vector<std::vector<AsId>>> prev_paths(
-      vantages_.size() * nodes, std::vector<std::vector<AsId>>(dest_ases_.size()));
+      (vantage_end - vantage_begin) * nodes,
+      std::vector<std::vector<AsId>>(dest_ases_.size()));
 
   // Deterministic session schedule: is (vantage AS, url) tested on
   // `day`?  A scheduled session runs from *every* node of the AS in
@@ -202,6 +262,24 @@ void Platform::run(MeasurementSink& sink) {
     return rng.bernoulli(prob);
   };
 
+  // Per-measurement randomness (traceroute rendering, route flutter,
+  // detector false positives) is drawn from a stream keyed on the cell
+  // coordinates (epoch, destination, vantage node) rather than from one
+  // sequential per-epoch stream, so the draws a measurement sees do not
+  // depend on which other cells the executing shard simulates.  This is
+  // the determinism contract that makes sharded runs bit-identical to
+  // the serial run.
+  auto cell_rng = [this](std::int64_t global_epoch, std::size_t di, std::size_t vi,
+                         std::size_t node) {
+    // Chained mixes, not bit-packing: no coordinate bound can alias two
+    // cells onto one stream.
+    return util::Rng(util::mix64(
+        util::mix64(
+            util::mix64(seed_ ^ 0xCE11u, static_cast<std::uint64_t>(global_epoch)),
+            (static_cast<std::uint64_t>(di) << 32) ^ static_cast<std::uint64_t>(vi)),
+        static_cast<std::uint64_t>(node)));
+  };
+
   // Path of a vantage node: node 0 follows the AS's best BGP route;
   // further nodes exit through the AS's other providers (different PoP,
   // different first hop) when the AS is multihomed.
@@ -226,20 +304,38 @@ void Platform::run(MeasurementSink& sink) {
     return path;
   };
 
-  for (util::Day day = 0; day < config_.num_days; ++day) {
+  // A shard starting mid-year reconstructs its starting state: the churn
+  // process is replayed to the epoch before the shard's first, and that
+  // epoch's routing view primes the flutter history exactly as the
+  // serial run would have left it.
+  if (range.day_begin > 0) {
+    churn.advance_to(static_cast<std::int64_t>(range.day_begin) * epochs_per_day - 1);
+    const bgp::RouteTableSet tables(computer, dest_ases_, churn.link_up());
+    for (std::size_t di = 0; di < dest_ases_.size(); ++di) {
+      for (std::size_t vi = vantage_begin; vi < vantage_end; ++vi) {
+        for (std::size_t node = 0; node < nodes; ++node) {
+          prev_paths[(vi - vantage_begin) * nodes + node][di] =
+              node_path(tables.at(di), vantages_[vi], node, churn.link_up());
+        }
+      }
+    }
+  }
+
+  for (util::Day day = range.day_begin; day < range.day_end; ++day) {
     sink.on_day_start(day);
     for (std::int32_t epoch = 0; epoch < config_.epochs_per_day; ++epoch) {
-      if (day > 0 || epoch > 0) churn.advance();
-      util::Rng epoch_rng(util::mix64(
-          seed_, 0xDA7 + static_cast<std::uint64_t>(day) *
-                             static_cast<std::uint64_t>(config_.epochs_per_day) +
-                     static_cast<std::uint64_t>(epoch)));
+      const std::int64_t global_epoch = static_cast<std::int64_t>(day) * epochs_per_day +
+                                        static_cast<std::int64_t>(epoch);
+      if (global_epoch > 0) churn.advance();
+      // The shard's routing view of this epoch: one table per
+      // destination, shared by every vantage below.
+      const bgp::RouteTableSet tables(computer, dest_ases_, churn.link_up());
 
       for (std::size_t di = 0; di < dest_ases_.size(); ++di) {
         const AsId dest = dest_ases_[di];
-        const bgp::RouteTable table = computer.compute(dest, churn.link_up());
+        const bgp::RouteTable& table = tables.at(di);
 
-        for (std::size_t vi = 0; vi < vantages_.size(); ++vi) {
+        for (std::size_t vi = vantage_begin; vi < vantage_end; ++vi) {
           const AsId vp = vantages_[vi];
           // AS-level churn tracking uses the AS's default best path.
           {
@@ -250,9 +346,12 @@ void Platform::run(MeasurementSink& sink) {
 
           for (std::size_t node = 0; node < nodes; ++node) {
             const std::size_t node_index = vi * nodes + node;
+            const std::size_t local_node_index = (vi - vantage_begin) * nodes + node;
+            util::Rng rng = cell_rng(global_epoch, di, vi, node);
             std::vector<AsId> path = node_path(table, vp, node, churn.link_up());
 
-            for (const std::int32_t url_id : urls_by_dest[di]) {
+            for (std::size_t ui = 0; ui < urls_by_dest[di].size(); ++ui) {
+              const std::int32_t url_id = urls_by_dest[di][ui];
               if (!session_scheduled(day, vi, url_id)) continue;
               const Url& url = urls_[static_cast<std::size_t>(url_id)];
 
@@ -262,14 +361,22 @@ void Platform::run(MeasurementSink& sink) {
               m.url_id = url_id;
               m.day = day;
               m.epoch_in_day = epoch;
+              m.seq = static_cast<std::int64_t>(
+                  ((((static_cast<std::size_t>(global_epoch) * dest_ases_.size() + di) *
+                         vantages_.size() +
+                     vi) *
+                        nodes +
+                    node) *
+                       urls_.size() +
+                   ui));
               m.truth_path = path;
               m.unreachable = path.empty();
 
               if (m.unreachable) {
                 for (auto& t : m.traceroutes) t.error = true;
               } else {
-                m.traceroutes = tracer.trace_triple(path, prev_paths[node_index][di],
-                                                    config_.flutter_prob, epoch_rng);
+                m.traceroutes = tracer.trace_triple(path, prev_paths[local_node_index][di],
+                                                    config_.flutter_prob, rng);
                 for (const Anomaly a : kAllAnomalies) {
                   const auto ai = static_cast<std::size_t>(a);
                   const bool censored =
@@ -278,17 +385,33 @@ void Platform::run(MeasurementSink& sink) {
                   m.detected[ai] =
                       censored
                           ? !session_noise(day, node_index, url_id, a, config_.noise.fn(a))
-                          : epoch_rng.bernoulli(config_.noise.fp(a));
+                          : rng.bernoulli(config_.noise.fp(a));
                 }
               }
               sink.on_measurement(m);
             }
-            prev_paths[node_index][di] = std::move(path);
+            prev_paths[local_node_index][di] = std::move(path);
           }
         }
       }
     }
   }
+}
+
+void Platform::run_shards(const std::vector<ShardRange>& ranges,
+                          const std::vector<MeasurementSink*>& sinks,
+                          unsigned num_threads) const {
+  if (ranges.size() != sinks.size()) {
+    throw std::invalid_argument("Platform::run_shards: ranges/sinks size mismatch");
+  }
+  if (ranges.empty()) return;
+  const unsigned workers = std::min<unsigned>(
+      num_threads == 0 ? util::ThreadPool::hardware_threads() : num_threads,
+      static_cast<unsigned>(ranges.size()));
+  util::ThreadPool pool(workers);
+  pool.for_each_index(ranges.size(), [&](unsigned /*worker*/, std::size_t i) {
+    run_shard(*sinks[i], ranges[i]);
+  });
 }
 
 void DatasetSummary::on_measurement(const Measurement& m) {
@@ -301,6 +424,17 @@ void DatasetSummary::on_measurement(const Measurement& m) {
   }
   seen_vantages_.push_back(m.vantage);
   seen_urls_.push_back(m.url_id);
+}
+
+void DatasetSummary::merge(DatasetSummary&& other) {
+  measurements_ += other.measurements_;
+  unreachable_ += other.unreachable_;
+  for (std::size_t i = 0; i < anomaly_counts_.size(); ++i) {
+    anomaly_counts_[i] += other.anomaly_counts_[i];
+  }
+  seen_vantages_.insert(seen_vantages_.end(), other.seen_vantages_.begin(),
+                        other.seen_vantages_.end());
+  seen_urls_.insert(seen_urls_.end(), other.seen_urls_.begin(), other.seen_urls_.end());
 }
 
 double DatasetSummary::anomaly_fraction(Anomaly a) const {

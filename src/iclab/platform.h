@@ -47,6 +47,12 @@ struct Measurement {
   std::int32_t url_id = 0;
   util::Day day = 0;
   std::int32_t epoch_in_day = 0;  // sub-day measurement slot
+  /// Position in the deterministic global schedule (lexicographic in
+  /// (day, epoch, destination, vantage, node, URL)).  Depends only on
+  /// the schedule, never on which shard executed the measurement, so
+  /// shard-local sink contents can be merged back into exact serial
+  /// stream order (see ClauseBuilder::canonicalize).
+  std::int64_t seq = 0;
   /// Detector verdict per anomaly type (index = Anomaly enum value).
   std::array<bool, censor::kNumAnomalies> detected{};
   std::array<net::Traceroute, 3> traceroutes;
@@ -139,6 +145,36 @@ struct Endpoints {
 Endpoints choose_endpoints(const topo::AsGraph& graph, const PlatformConfig& config,
                            std::uint64_t seed);
 
+/// One shard of the measurement schedule: a contiguous day range crossed
+/// with a contiguous range of vantage indices (into Platform::vantages()).
+/// Both ranges are half-open.  A shard covers every (destination, node,
+/// URL) combination inside its rectangle, so a set of disjoint shards
+/// tiling [0, num_days) x [0, num_vantages) covers the schedule exactly
+/// once.
+struct ShardRange {
+  util::Day day_begin = 0;
+  util::Day day_end = 0;
+  std::int32_t vantage_begin = 0;
+  std::int32_t vantage_end = 0;
+
+  bool operator==(const ShardRange&) const = default;
+};
+
+/// Partitions the schedule into a day_chunks x vantage_chunks grid of
+/// near-even ShardRanges (day-major order).  Chunk counts are clamped to
+/// the dimension sizes; the result always tiles the schedule exactly.
+std::vector<ShardRange> plan_shard_grid(util::Day num_days, std::int32_t num_vantages,
+                                        std::int32_t day_chunks,
+                                        std::int32_t vantage_chunks);
+
+/// Plans ~num_shards shards.  Days are split first (day sharding is the
+/// cheap direction: each route table is computed by exactly one shard);
+/// the vantage dimension is split only when num_shards exceeds the day
+/// count.  The returned partition may hold slightly more shards than
+/// requested when both dimensions split (grid rounding).
+std::vector<ShardRange> plan_shards(util::Day num_days, std::int32_t num_vantages,
+                                    std::int32_t num_shards);
+
 class Platform {
  public:
   /// The graph, registry, and plan must outlive the platform.  Selects
@@ -151,7 +187,26 @@ class Platform {
            Endpoints endpoints);
 
   /// Runs the full schedule, streaming into `sink`.
-  void run(MeasurementSink& sink);
+  void run(MeasurementSink& sink) const;
+
+  /// Runs one shard of the schedule, streaming into `sink`.  Every
+  /// random draw is made from a stream keyed on the measurement's
+  /// schedule coordinates (never on execution order), and a shard
+  /// starting mid-year deterministically replays the churn process and
+  /// the previous epoch's routing view to reconstruct its starting
+  /// state — so the union of the streams emitted by any disjoint tiling
+  /// of shards is bit-identical to the serial run's stream.
+  /// on_day_start fires once per shard per covered day (shards that
+  /// split the vantage dimension share days).
+  void run_shard(MeasurementSink& sink, const ShardRange& range) const;
+
+  /// Runs `ranges` concurrently on an internal thread pool
+  /// (num_threads == 0 selects hardware concurrency), streaming shard i
+  /// into *sinks[i].  Sinks must be distinct objects; each is driven
+  /// from exactly one task, so sinks need no locking of their own.
+  void run_shards(const std::vector<ShardRange>& ranges,
+                  const std::vector<MeasurementSink*>& sinks,
+                  unsigned num_threads = 0) const;
 
   const std::vector<topo::AsId>& vantages() const { return vantages_; }
   const std::vector<Url>& urls() const { return urls_; }
@@ -176,6 +231,12 @@ class DatasetSummary : public MeasurementSink {
   explicit DatasetSummary(const topo::AsGraph& graph) : graph_(graph) {}
 
   void on_measurement(const Measurement& m) override;
+
+  /// Folds a shard-local summary into this one.  Associative and
+  /// commutative, with a fresh summary as identity: every statistic the
+  /// class exposes is a sum or a distinct-count, so merge order never
+  /// shows in the outputs.
+  void merge(DatasetSummary&& other);
 
   std::int64_t measurements() const { return measurements_; }
   std::int64_t anomaly_count(censor::Anomaly a) const {

@@ -1,5 +1,9 @@
 #include "tomo/clause.h"
 
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
 namespace ct::tomo {
 
 PathPool::PathId PathPool::intern(const std::vector<topo::AsId>& path) {
@@ -38,8 +42,44 @@ void ClauseBuilder::on_measurement(const iclab::Measurement& m) {
     clause.anomaly = a;
     clause.observed = m.detected[static_cast<std::size_t>(a)];
     clauses_.push_back(clause);
+    seqs_.push_back(m.seq);
     ++stats_.clauses;
   }
+}
+
+void ClauseBuilder::merge(ClauseBuilder&& other) {
+  stats_ += other.stats_;
+  clauses_.reserve(clauses_.size() + other.clauses_.size());
+  seqs_.reserve(seqs_.size() + other.seqs_.size());
+  for (std::size_t i = 0; i < other.clauses_.size(); ++i) {
+    PathClause clause = other.clauses_[i];
+    clause.path_id = pool_.intern(other.pool_.get(clause.path_id));
+    clauses_.push_back(clause);
+    seqs_.push_back(other.seqs_[i]);
+  }
+}
+
+void ClauseBuilder::canonicalize() {
+  std::vector<std::size_t> order(clauses_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Stable: a measurement's clauses share a seq and keep anomaly order.
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) { return seqs_[a] < seqs_[b]; });
+
+  PathPool pool;
+  std::vector<PathClause> clauses;
+  std::vector<std::int64_t> seqs;
+  clauses.reserve(clauses_.size());
+  seqs.reserve(seqs_.size());
+  for (const std::size_t i : order) {
+    PathClause clause = clauses_[i];
+    clause.path_id = pool.intern(pool_.get(clause.path_id));
+    clauses.push_back(clause);
+    seqs.push_back(seqs_[i]);
+  }
+  pool_ = std::move(pool);
+  clauses_ = std::move(clauses);
+  seqs_ = std::move(seqs);
 }
 
 }  // namespace ct::tomo

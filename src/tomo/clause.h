@@ -54,6 +54,8 @@ struct PathClause {
   util::Day day = 0;
   censor::Anomaly anomaly = censor::Anomaly::kDns;
   bool observed = false;  // anomaly detected on this measurement
+
+  bool operator==(const PathClause&) const = default;
 };
 
 struct ClauseBuildStats {
@@ -69,6 +71,19 @@ struct ClauseBuildStats {
     return dropped_no_mapping + dropped_traceroute_error + dropped_ambiguous_gap +
            dropped_divergent_paths;
   }
+
+  ClauseBuildStats& operator+=(const ClauseBuildStats& other) {
+    measurements += other.measurements;
+    dropped_no_mapping += other.dropped_no_mapping;
+    dropped_traceroute_error += other.dropped_traceroute_error;
+    dropped_ambiguous_gap += other.dropped_ambiguous_gap;
+    dropped_divergent_paths += other.dropped_divergent_paths;
+    usable_measurements += other.usable_measurements;
+    clauses += other.clauses;
+    return *this;
+  }
+
+  bool operator==(const ClauseBuildStats&) const = default;
 };
 
 /// Streaming sink: converts measurements to clauses as they arrive.
@@ -79,14 +94,34 @@ class ClauseBuilder : public iclab::MeasurementSink {
 
   void on_measurement(const iclab::Measurement& m) override;
 
+  /// Folds a shard-local builder into this one: clauses are appended
+  /// with their path ids re-interned into this builder's pool, stats are
+  /// summed.  Associative, with a fresh builder as identity — but the
+  /// clause *order* after merging reflects merge order, so callers must
+  /// canonicalize() before reading clauses()/pool() when more than one
+  /// builder was merged.
+  void merge(ClauseBuilder&& other);
+
+  /// Restores the canonical serial stream: clauses are sorted by their
+  /// measurement's schedule position (Measurement::seq) and path ids are
+  /// renumbered in first-use order of the sorted stream.  Idempotent,
+  /// and a no-op on a builder fed by a serial Platform::run — after
+  /// canonicalize(), pool() and clauses() are bit-identical regardless
+  /// of how the stream was sharded or in which order shards merged.
+  void canonicalize();
+
   const PathPool& pool() const { return pool_; }
   const std::vector<PathClause>& clauses() const { return clauses_; }
+  /// Schedule position of each clause (parallel to clauses(); the
+  /// kNumAnomalies clauses of one measurement share a value).
+  const std::vector<std::int64_t>& seqs() const { return seqs_; }
   const ClauseBuildStats& stats() const { return stats_; }
 
  private:
   const net::Ip2AsDb& db_;
   PathPool pool_;
   std::vector<PathClause> clauses_;
+  std::vector<std::int64_t> seqs_;
   ClauseBuildStats stats_;
 };
 

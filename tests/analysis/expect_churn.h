@@ -1,0 +1,33 @@
+// Shared test helper: deep equality over ChurnStats (and its
+// BucketedCounts histograms), used by both the serial-vs-sharded
+// equivalence suite and the sink-merge algebra tests so the comparison
+// cannot silently diverge when ChurnStats grows a field.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "analysis/churn_stats.h"
+#include "util/stats.h"
+
+namespace ct::analysis::test {
+
+inline void expect_bucketed_equal(const util::BucketedCounts& a,
+                                  const util::BucketedCounts& b) {
+  ASSERT_EQ(a.max_exact(), b.max_exact());
+  EXPECT_EQ(a.total(), b.total());
+  for (int v = 0; v <= a.max_exact(); ++v) EXPECT_EQ(a.count(v), b.count(v));
+  EXPECT_EQ(a.overflow(), b.overflow());
+}
+
+inline void expect_churn_equal(const ChurnStats& a, const ChurnStats& b) {
+  EXPECT_EQ(a.changed_fraction, b.changed_fraction);
+  EXPECT_EQ(a.changed_by_dest_class, b.changed_by_dest_class);
+  ASSERT_EQ(a.distinct_paths.size(), b.distinct_paths.size());
+  for (const auto& [g, counts] : a.distinct_paths) {
+    const auto it = b.distinct_paths.find(g);
+    ASSERT_NE(it, b.distinct_paths.end());
+    expect_bucketed_equal(counts, it->second);
+  }
+}
+
+}  // namespace ct::analysis::test

@@ -10,17 +10,23 @@
 #include <set>
 
 #include "analysis/report.h"
+#include "shard_env.h"
 
 namespace ct::analysis {
 namespace {
 
 /// One shared run (building it per-test would dominate test time).
+/// Honors CT_PLATFORM_SHARDS: results are bit-identical either way
+/// (experiment_shard_test.cpp proves it), so every assertion below
+/// holds in both CI configurations.
 class ExperimentTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     ScenarioConfig config = small_scenario();
     scenario_ = new Scenario(config);
-    result_ = new ExperimentResult(run_experiment(*scenario_));
+    ExperimentOptions options;
+    options.num_platform_shards = test::shards_from_env();
+    result_ = new ExperimentResult(run_experiment(*scenario_, options));
   }
   static void TearDownTestSuite() {
     delete result_;

@@ -1,0 +1,15 @@
+// Shared test helper: the CT_PLATFORM_SHARDS contract.  CI runs the
+// suite once with a serial platform (1, the default) and once sharded;
+// results must be identical in both configurations.
+#pragma once
+
+#include <cstdlib>
+
+namespace ct::analysis::test {
+
+inline unsigned shards_from_env() {
+  const char* env = std::getenv("CT_PLATFORM_SHARDS");
+  return env == nullptr ? 1 : static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+}
+
+}  // namespace ct::analysis::test

@@ -127,5 +127,23 @@ TEST(Churn, VolatileLinksFailMoreOften) {
   EXPECT_GT(volatile_rate, stable_rate * 10);
 }
 
+TEST(Churn, AdvanceToReplaysExactly) {
+  const auto g = test_graph();
+  ChurnEngine stepped(g, ChurnConfig{}, 7);
+  for (int i = 0; i < 37; ++i) stepped.advance();
+
+  ChurnEngine replayed(g, ChurnConfig{}, 7);
+  replayed.advance_to(37);
+
+  EXPECT_EQ(replayed.epoch(), 37);
+  EXPECT_EQ(replayed.link_up(), stepped.link_up());
+  EXPECT_EQ(replayed.links_down(), stepped.links_down());
+  EXPECT_EQ(replayed.total_failures(), stepped.total_failures());
+
+  replayed.advance_to(37);  // no-op at the target epoch
+  EXPECT_EQ(replayed.epoch(), 37);
+  EXPECT_THROW(replayed.advance_to(10), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace ct::bgp

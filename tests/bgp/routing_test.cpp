@@ -228,5 +228,28 @@ TEST_P(RoutingProperties, FailuresNeverCreateValleys) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoutingProperties, ::testing::Range<std::uint64_t>(1, 16));
 
+TEST(RouteTableSet, MatchesPerDestinationComputation) {
+  topo::TopologyConfig cfg;
+  cfg.num_ases = 120;
+  cfg.num_tier1 = 4;
+  cfg.num_transit = 24;
+  cfg.num_countries = 10;
+  const topo::AsGraph graph = topo::generate_topology(cfg, 5);
+  const RouteComputer computer(graph);
+  std::vector<bool> up(static_cast<std::size_t>(graph.num_links()), true);
+  for (std::size_t i = 0; i < up.size(); i += 7) up[i] = false;  // some failures
+
+  const std::vector<topo::AsId> dests{3, 17, 42, 99};
+  const RouteTableSet tables(computer, dests, up);
+  ASSERT_EQ(tables.size(), dests.size());
+  for (std::size_t di = 0; di < dests.size(); ++di) {
+    const RouteTable direct = computer.compute(dests[di], up);
+    EXPECT_EQ(tables.at(di).dest(), dests[di]);
+    for (AsId src = 0; src < graph.num_ases(); ++src) {
+      EXPECT_EQ(tables.at(di).path(src), direct.path(src));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ct::bgp
