@@ -8,6 +8,7 @@
 
 #include "analysis/platform_sinks.h"
 #include "analysis/scenario.h"
+#include "analysis/streaming_pipeline.h"
 #include "bgp/routing.h"
 #include "iclab/platform.h"
 #include "util/thread_pool.h"
@@ -260,6 +261,48 @@ BENCHMARK(BM_PlatformSharded)
     ->Arg(2)
     ->Arg(4)
     ->Arg(0)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+// Overlapped vs phase-separated execution of the pipeline's
+// platform→CNF→SAT half on the full default-scenario year.  Arg = 0 is
+// the batch path (run_platform, then build_cnfs, then analyze_cnfs);
+// Arg = 1 streams window-complete CNFs into the analyzer pool while
+// measurements are still arriving (README "Streaming ingest").  Both
+// produce byte-identical verdicts — the delta is pure wall-clock
+// overlap, so it only shows with >= 2 hardware threads.
+void BM_StreamingPipeline(benchmark::State& state) {
+  static analysis::Scenario* scenario =
+      new analysis::Scenario(analysis::default_scenario());
+  const bool streaming = state.range(0) != 0;
+  const unsigned shards = util::ThreadPool::hardware_threads();
+  std::size_t verdicts_out = 0;
+  for (auto _ : state) {
+    if (streaming) {
+      analysis::StreamingOptions options;
+      options.num_platform_shards = shards;
+      options.analysis.resolve_counts = false;
+      options.analysis.num_threads = 0;
+      const analysis::StreamingResult r =
+          analysis::run_streaming_pipeline(*scenario, options);
+      verdicts_out = r.verdicts.size();
+    } else {
+      const auto sinks = analysis::run_platform(*scenario, shards);
+      const std::vector<tomo::TomoCnf> cnfs = tomo::build_cnfs(
+          sinks->clause_builder.pool(), sinks->clause_builder.clauses());
+      tomo::AnalysisOptions analysis;
+      analysis.resolve_counts = false;
+      analysis.num_threads = 0;
+      verdicts_out = tomo::analyze_cnfs(cnfs, analysis).size();
+    }
+    benchmark::DoNotOptimize(verdicts_out);
+  }
+  state.counters["verdicts"] = static_cast<double>(verdicts_out);
+  state.counters["streaming"] = streaming ? 1.0 : 0.0;
+}
+BENCHMARK(BM_StreamingPipeline)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
 

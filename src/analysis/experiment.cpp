@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/platform_sinks.h"
+#include "analysis/streaming_pipeline.h"
 
 namespace ct::analysis {
 
@@ -175,9 +176,33 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
   const auto& graph = scenario.graph();
   iclab::Platform& platform = scenario.platform();
 
-  // --- run the platform through all sinks (serial or sharded) ---
-  const std::unique_ptr<PlatformSinks> sinks =
-      run_platform(scenario, options.num_platform_shards);
+  // --- platform run + CNF construction + main SAT pass ---
+  // Batch: run all sinks to completion, then build every CNF, then
+  // analyze the batch.  Streaming: all three overlapped, same results.
+  // Nothing downstream of the main pass reads counts beyond the 0/1/2+
+  // class (Figures 1/2, censor identification, leakage), so let the
+  // sessions stop enumerating at two models.
+  tomo::AnalysisOptions main_analysis = options.analysis;
+  main_analysis.resolve_counts = false;
+  main_analysis.num_threads = options.num_threads;
+
+  std::unique_ptr<PlatformSinks> sinks;
+  std::vector<tomo::TomoCnf> cnfs;
+  std::vector<tomo::CnfVerdict> verdicts;
+  if (options.streaming) {
+    StreamingOptions streaming;
+    streaming.num_platform_shards = options.num_platform_shards;
+    streaming.analysis = main_analysis;
+    StreamingResult piped = run_streaming_pipeline(scenario, streaming);
+    sinks = std::move(piped.sinks);
+    cnfs = std::move(piped.cnfs);
+    verdicts = std::move(piped.verdicts);
+  } else {
+    sinks = run_platform(scenario, options.num_platform_shards);
+    cnfs = tomo::build_cnfs(sinks->clause_builder.pool(), sinks->clause_builder.clauses());
+    verdicts = tomo::analyze_cnfs(cnfs, main_analysis);
+  }
+
   const iclab::DatasetSummary& summary = sinks->summary;
   const tomo::ClauseBuilder& clause_builder = sinks->clause_builder;
   const PathChurnTracker& churn_tracker = sinks->churn_tracker;
@@ -197,17 +222,9 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
   }
   result.table1.clause_stats = clause_builder.stats();
 
-  // --- CNF construction + SAT analysis (all four granularities) ---
+  // --- figures over the main pass's CNFs/verdicts ---
   const tomo::PathPool& pool = clause_builder.pool();
   const std::vector<tomo::PathClause>& clauses = clause_builder.clauses();
-  const std::vector<tomo::TomoCnf> cnfs = tomo::build_cnfs(pool, clauses);
-  // Nothing downstream of this pass reads counts beyond the 0/1/2+
-  // class (Figures 1/2, censor identification, leakage), so let the
-  // sessions stop enumerating at two models.
-  tomo::AnalysisOptions main_analysis = options.analysis;
-  main_analysis.resolve_counts = false;
-  main_analysis.num_threads = options.num_threads;
-  const std::vector<tomo::CnfVerdict> verdicts = tomo::analyze_cnfs(cnfs, main_analysis);
   result.total_cnfs = static_cast<std::int64_t>(verdicts.size());
 
   result.fig1 = make_fig1(verdicts, options.fig1_granularities);

@@ -17,21 +17,30 @@ std::unique_ptr<PlatformSinks> run_platform(Scenario& scenario, unsigned num_sha
     return sinks;
   }
 
-  const std::vector<iclab::ShardRange> ranges =
-      iclab::plan_shards(platform.config().num_days,
-                         static_cast<std::int32_t>(platform.vantages().size()),
-                         static_cast<std::int32_t>(shards));
-  std::vector<std::unique_ptr<PlatformSinks>> shard_sinks;
+  ShardPlan plan = plan_shard_sinks(scenario, shards);
   std::vector<iclab::MeasurementSink*> targets;
-  shard_sinks.reserve(ranges.size());
-  targets.reserve(ranges.size());
-  for (std::size_t i = 0; i < ranges.size(); ++i) {
-    shard_sinks.push_back(std::make_unique<PlatformSinks>(scenario));
-    targets.push_back(&shard_sinks.back()->fanout);
-  }
-  platform.run_shards(ranges, targets,
-                      std::min(shards, util::ThreadPool::hardware_threads()));
+  targets.reserve(plan.sinks.size());
+  for (const auto& sinks : plan.sinks) targets.push_back(&sinks->fanout);
+  platform.run_shards(plan.ranges, targets, plan.workers);
+  return merge_shard_sinks(std::move(plan.sinks));
+}
 
+ShardPlan plan_shard_sinks(Scenario& scenario, unsigned num_shards) {
+  const iclab::Platform& platform = scenario.platform();
+  ShardPlan plan;
+  plan.ranges = iclab::plan_shards(platform.config().num_days,
+                                   static_cast<std::int32_t>(platform.vantages().size()),
+                                   static_cast<std::int32_t>(num_shards));
+  plan.sinks.reserve(plan.ranges.size());
+  for (std::size_t i = 0; i < plan.ranges.size(); ++i) {
+    plan.sinks.push_back(std::make_unique<PlatformSinks>(scenario));
+  }
+  plan.workers = std::min(num_shards, util::ThreadPool::hardware_threads());
+  return plan;
+}
+
+std::unique_ptr<PlatformSinks> merge_shard_sinks(
+    std::vector<std::unique_ptr<PlatformSinks>> shard_sinks) {
   // Fold shards in plan order, then restore canonical clause order —
   // after this the contents are indistinguishable from a serial run's.
   for (std::size_t i = 1; i < shard_sinks.size(); ++i) {

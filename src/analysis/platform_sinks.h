@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "analysis/churn_stats.h"
 #include "analysis/scenario.h"
@@ -57,5 +58,26 @@ struct PlatformSinks {
 /// per hardware thread; workers are capped at the hardware and the
 /// shard count.
 std::unique_ptr<PlatformSinks> run_platform(Scenario& scenario, unsigned num_shards);
+
+/// One planned sharded run: the shard ranges, a fresh sink bundle per
+/// shard, and the worker count (shards capped at hardware threads).
+/// Shared by run_platform and the streaming pipeline so the plan and
+/// pool-sizing policy cannot diverge between the two paths.
+struct ShardPlan {
+  std::vector<iclab::ShardRange> ranges;
+  std::vector<std::unique_ptr<PlatformSinks>> sinks;  // parallel to ranges
+  unsigned workers = 1;
+};
+
+/// Plans `num_shards` (vantage, day) shards over the scenario's
+/// schedule and allocates their sink bundles.
+ShardPlan plan_shard_sinks(Scenario& scenario, unsigned num_shards);
+
+/// Folds shard-local sink bundles (in plan order) into shard_sinks[0],
+/// canonicalizes the merged clause stream, and returns it; consumed
+/// bundles are freed as they fold, capping peak memory at ~2x the
+/// serial run.  Shared by run_platform and the streaming pipeline.
+std::unique_ptr<PlatformSinks> merge_shard_sinks(
+    std::vector<std::unique_ptr<PlatformSinks>> shard_sinks);
 
 }  // namespace ct::analysis

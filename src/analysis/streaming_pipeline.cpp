@@ -1,0 +1,233 @@
+#include "analysis/streaming_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/bounded_queue.h"
+#include "util/thread_pool.h"
+
+namespace ct::analysis {
+
+namespace {
+
+using tomo::TomoCnf;
+
+/// Sentinel watermark of a finished shard: it will emit nothing more,
+/// so it must never be the min.
+constexpr util::Day kShardDone = std::numeric_limits<util::Day>::max();
+
+/// Merges the per-shard clause streams into one watermark-ordered
+/// stream feeding a single StreamingCnfBuilder.
+///
+/// Each shard delivers its clauses day by day together with a
+/// watermark ("this shard will emit nothing below day w anymore"); the
+/// global watermark is the min over shards, and only clauses below it
+/// are grouped — sorted by Measurement::seq first, so every window
+/// group sees its clauses in exactly the canonical serial order and
+/// the emitted CNFs are bit-identical to the batch path's.
+class WatermarkCoordinator {
+ public:
+  WatermarkCoordinator(const std::vector<iclab::ShardRange>& ranges,
+                       const tomo::CnfBuildOptions& build,
+                       util::BoundedQueue<TomoCnf>& queue)
+      : grouper_(build, &pool_), queue_(queue) {
+    watermarks_.reserve(ranges.size());
+    // A shard emits nothing below its day range, so its watermark
+    // starts at day_begin, not 0 — later-range shards never hold the
+    // global watermark at zero while earlier days finish.
+    for (const auto& r : ranges) watermarks_.push_back(r.day_begin);
+  }
+
+  /// Ingests `builder`'s clauses in [from_index, to_index) and raises
+  /// shard `shard`'s watermark to `watermark`.  Called by the shard's
+  /// own platform thread, so a blocked queue push back-pressures
+  /// ingest.
+  void deliver(std::size_t shard, util::Day watermark, const tomo::ClauseBuilder& builder,
+               std::size_t from_index, std::size_t to_index) {
+    std::vector<TomoCnf> emitted;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t i = from_index; i < to_index; ++i) {
+        Entry entry;
+        entry.seq = builder.seqs()[i];
+        entry.clause = builder.clauses()[i];
+        entry.clause.path_id = pool_.intern(builder.pool().get(entry.clause.path_id));
+        buffer_[entry.clause.day].push_back(std::move(entry));
+      }
+      if (watermark > watermarks_[shard]) watermarks_[shard] = watermark;
+      const util::Day global = *std::min_element(watermarks_.begin(), watermarks_.end());
+      // CNF construction stays under the lock: build_group reads pool_,
+      // which concurrent deliver() calls append to (intern reallocates),
+      // so emitting outside would race.  The expensive half — SAT — is
+      // already on the analyzer threads, and emission is one map pass
+      // per closed window.
+      emitted = advance_locked(global);
+    }
+    // Push outside the lock: a full queue then stalls only this shard's
+    // thread, not every thread touching the coordinator.
+    for (TomoCnf& tc : emitted) queue_.push(std::move(tc));
+  }
+
+  void shard_finished(std::size_t shard, const tomo::ClauseBuilder& builder,
+                      std::size_t from_index) {
+    deliver(shard, kShardDone, builder, from_index, builder.clauses().size());
+  }
+
+  /// End of run (all shards finished): emits every still-open window
+  /// and closes the queue.
+  void finish() {
+    std::vector<TomoCnf> emitted;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      feed_locked(kShardDone);
+      emitted = grouper_.flush();
+    }
+    for (TomoCnf& tc : emitted) queue_.push(std::move(tc));
+    queue_.close();
+  }
+
+ private:
+  struct Entry {
+    std::int64_t seq = 0;
+    tomo::PathClause clause;
+  };
+
+  /// Feeds every buffered clause with day < `global` to the grouper in
+  /// canonical order: days ascending, then seq ascending (stable, so a
+  /// measurement's clauses keep their anomaly order).  seq is
+  /// day-major, so this is exactly ascending-seq order overall.
+  void feed_locked(util::Day global) {
+    while (!buffer_.empty() && buffer_.begin()->first < global) {
+      std::vector<Entry>& batch = buffer_.begin()->second;
+      std::stable_sort(batch.begin(), batch.end(),
+                       [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+      for (const Entry& e : batch) grouper_.add(pool_, e.clause);
+      buffer_.erase(buffer_.begin());
+    }
+  }
+
+  std::vector<TomoCnf> advance_locked(util::Day global) {
+    feed_locked(global);
+    return grouper_.advance_watermark(global);
+  }
+
+  std::mutex mutex_;
+  std::vector<util::Day> watermarks_;  // per shard
+  std::map<util::Day, std::vector<Entry>> buffer_;
+  tomo::PathPool pool_;
+  tomo::StreamingCnfBuilder grouper_;
+  util::BoundedQueue<TomoCnf>& queue_;
+};
+
+/// Per-shard fanout member that watches the platform's measurement
+/// clock.  Added *after* the shard's ClauseBuilder, so when the clock
+/// callback fires the builder already holds every clause of the epoch;
+/// on each completed day it hands the new clause range to the
+/// coordinator (sharded) or drives the builder's own watermark API
+/// (serial).
+class StreamTap : public iclab::MeasurementSink {
+ public:
+  StreamTap(std::size_t shard, tomo::ClauseBuilder& builder, std::int32_t epochs_per_day,
+            WatermarkCoordinator* coordinator, util::BoundedQueue<TomoCnf>* queue)
+      : shard_(shard),
+        builder_(builder),
+        epochs_per_day_(epochs_per_day),
+        coordinator_(coordinator),
+        queue_(queue) {}
+
+  void on_measurement(const iclab::Measurement&) override {}
+
+  void on_epoch_complete(util::Day day, std::int32_t epoch) override {
+    if (epoch != epochs_per_day_ - 1) return;  // day not complete yet
+    if (coordinator_ != nullptr) {
+      coordinator_->deliver(shard_, day + 1, builder_, sent_, builder_.clauses().size());
+      sent_ = builder_.clauses().size();
+    } else {
+      for (TomoCnf& tc : builder_.advance_watermark(day + 1)) queue_->push(std::move(tc));
+    }
+  }
+
+  std::size_t sent() const { return sent_; }
+
+ private:
+  std::size_t shard_;
+  tomo::ClauseBuilder& builder_;
+  std::int32_t epochs_per_day_;
+  WatermarkCoordinator* coordinator_;    // sharded mode
+  util::BoundedQueue<TomoCnf>* queue_;   // serial mode
+  std::size_t sent_ = 0;
+};
+
+}  // namespace
+
+StreamingResult run_streaming_pipeline(Scenario& scenario, const StreamingOptions& options) {
+  iclab::Platform& platform = scenario.platform();
+  const unsigned shards = options.num_platform_shards == 0
+                              ? util::ThreadPool::hardware_threads()
+                              : options.num_platform_shards;
+  const std::int32_t epochs_per_day = platform.config().epochs_per_day;
+
+  util::BoundedQueue<TomoCnf> queue(options.queue_capacity);
+  tomo::StreamingAnalyzer analyzer(queue, options.analysis);
+  // If ingest throws, close the queue before ~StreamingAnalyzer joins
+  // its workers — otherwise they would wait on the open queue forever.
+  struct QueueCloser {
+    util::BoundedQueue<TomoCnf>& queue;
+    ~QueueCloser() { queue.close(); }
+  } closer{queue};
+
+  StreamingResult result;
+  if (shards <= 1) {
+    // Serial ingest: the run's own ClauseBuilder groups windows
+    // incrementally; the tap advances its watermark day by day.
+    auto sinks = std::make_unique<PlatformSinks>(scenario);
+    sinks->clause_builder.start_streaming(options.build);
+    StreamTap tap(0, sinks->clause_builder, epochs_per_day, nullptr, &queue);
+    sinks->fanout.add(&tap);
+    platform.run(sinks->fanout);
+    for (TomoCnf& tc : sinks->clause_builder.flush()) queue.push(std::move(tc));
+    queue.close();
+    sinks->fanout.remove(&tap);  // the tap dies with this frame
+    result.sinks = std::move(sinks);
+  } else {
+    ShardPlan plan = plan_shard_sinks(scenario, shards);
+    WatermarkCoordinator coordinator(plan.ranges, options.build, queue);
+
+    std::vector<std::unique_ptr<StreamTap>> taps;
+    taps.reserve(plan.ranges.size());
+    for (std::size_t i = 0; i < plan.ranges.size(); ++i) {
+      taps.push_back(std::make_unique<StreamTap>(i, plan.sinks[i]->clause_builder,
+                                                 epochs_per_day, &coordinator, nullptr));
+      plan.sinks[i]->fanout.add(taps.back().get());
+    }
+
+    // run_shards would not tell us when an individual shard finishes,
+    // so drive run_shard per task: each completion immediately raises
+    // that shard's watermark to "done".
+    util::ThreadPool pool(plan.workers);
+    pool.for_each_index(plan.ranges.size(), [&](unsigned /*worker*/, std::size_t i) {
+      platform.run_shard(plan.sinks[i]->fanout, plan.ranges[i]);
+      coordinator.shard_finished(i, plan.sinks[i]->clause_builder, taps[i]->sent());
+    });
+    coordinator.finish();
+
+    // The taps die with this frame; detach them before the sink
+    // bundles escape.
+    for (std::size_t i = 0; i < plan.sinks.size(); ++i) {
+      plan.sinks[i]->fanout.remove(taps[i].get());
+    }
+    result.sinks = merge_shard_sinks(std::move(plan.sinks));
+  }
+
+  tomo::StreamingAnalyzer::Result analyzed = analyzer.finish();
+  result.cnfs = std::move(analyzed.cnfs);
+  result.verdicts = std::move(analyzed.verdicts);
+  result.engine_stats = analyzed.stats;
+  return result;
+}
+
+}  // namespace ct::analysis

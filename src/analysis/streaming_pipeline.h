@@ -1,0 +1,61 @@
+// Fully overlapped platform → CNF → SAT execution (README "Streaming
+// ingest").
+//
+// The batch pipeline (run_platform + build_cnfs + analyze_cnfs)
+// materializes every PathClause and TomoCnf before the first SAT call.
+// run_streaming_pipeline instead emits each (URL, anomaly, window) CNF
+// the moment the measurement clock passes its window boundary — via
+// ClauseBuilder's watermark API on a serial run, or a min-merged
+// per-shard watermark when the platform is sharded — and pushes it
+// through a bounded MPMC queue into a tomo::StreamingAnalyzer whose
+// workers solve concurrently with ingest.
+//
+// Determinism contract: the returned sinks are bit-identical to
+// run_platform's, and the returned (cnfs, verdicts) are byte-identical
+// to build_cnfs + analyze_cnfs on those sinks — for every shard count,
+// worker count, and queue capacity (the streaming equivalence suite
+// holds this to the letter).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "analysis/platform_sinks.h"
+#include "analysis/scenario.h"
+#include "tomo/cnf_builder.h"
+#include "tomo/engine.h"
+
+namespace ct::analysis {
+
+struct StreamingOptions {
+  /// Platform shards, as ExperimentOptions::num_platform_shards
+  /// (1 = serial ingest, 0 = hardware concurrency).
+  unsigned num_platform_shards = 1;
+  /// Analyzer-pool options; `analysis.num_threads` workers consume the
+  /// CNF queue concurrently with ingest (0 = hardware concurrency).
+  tomo::AnalysisOptions analysis;
+  /// CNF construction options (granularities, require_positive).
+  tomo::CnfBuildOptions build;
+  /// Capacity of the ingest→analysis queue; a full queue back-pressures
+  /// the platform threads instead of buffering unboundedly.
+  std::size_t queue_capacity = 256;
+};
+
+struct StreamingResult {
+  /// Merged (and, when sharded, canonicalized) platform sinks —
+  /// bit-identical to run_platform's.
+  std::unique_ptr<PlatformSinks> sinks;
+  /// Every emitted CNF and its verdict, key-sorted: byte-identical to
+  /// analyze_cnfs(build_cnfs(...)) on the batch path.
+  std::vector<tomo::TomoCnf> cnfs;
+  std::vector<tomo::CnfVerdict> verdicts;
+  tomo::EngineStats engine_stats;
+};
+
+/// Runs the platform, window-complete CNF emission, and SAT analysis as
+/// one overlapped pipeline.  Deterministic (see header comment).
+StreamingResult run_streaming_pipeline(Scenario& scenario,
+                                       const StreamingOptions& options = {});
+
+}  // namespace ct::analysis

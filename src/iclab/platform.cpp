@@ -394,6 +394,7 @@ void Platform::run_shard(MeasurementSink& sink, const ShardRange& range) const {
           }
         }
       }
+      sink.on_epoch_complete(day, epoch);
     }
   }
 }

@@ -16,6 +16,7 @@
 // sinks so the (potentially large) dataset is streamed, not stored.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
@@ -77,12 +78,25 @@ class MeasurementSink {
                        topo::AsId /*dest*/, const std::vector<topo::AsId>& /*path*/) {}
   /// Called at the start of each simulated day.
   virtual void on_day_start(util::Day /*day*/) {}
+  /// Measurement-clock watermark: called after the last measurement of
+  /// each routing epoch, meaning every measurement of that (day, epoch)
+  /// — within the emitting shard's range — has been delivered.  When
+  /// `epoch` is the day's last, day `day` is complete; streaming
+  /// consumers use this to close time windows that end at `day + 1`
+  /// (see README "Streaming ingest").
+  virtual void on_epoch_complete(util::Day /*day*/, std::int32_t /*epoch*/) {}
 };
 
 /// Fans one measurement stream out to several sinks.
 class SinkFanout : public MeasurementSink {
  public:
   void add(MeasurementSink* sink) { sinks_.push_back(sink); }
+  /// Detaches `sink` (no-op if absent) — callers that attach a sink
+  /// with a narrower lifetime than the fanout must remove it before
+  /// that lifetime ends.
+  void remove(MeasurementSink* sink) {
+    sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+  }
   void on_measurement(const Measurement& m) override {
     for (auto* s : sinks_) s->on_measurement(m);
   }
@@ -92,6 +106,9 @@ class SinkFanout : public MeasurementSink {
   }
   void on_day_start(util::Day day) override {
     for (auto* s : sinks_) s->on_day_start(day);
+  }
+  void on_epoch_complete(util::Day day, std::int32_t epoch) override {
+    for (auto* s : sinks_) s->on_epoch_complete(day, epoch);
   }
 
  private:

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 #include <utility>
+
+#include "tomo/cnf_builder.h"
 
 namespace ct::tomo {
 
@@ -10,6 +13,57 @@ PathPool::PathId PathPool::intern(const std::vector<topo::AsId>& path) {
   const auto [it, inserted] = index_.emplace(path, static_cast<PathId>(paths_.size()));
   if (inserted) paths_.push_back(path);
   return it->second;
+}
+
+ClauseBuilder::ClauseBuilder(const net::Ip2AsDb& db) : db_(db) {}
+ClauseBuilder::~ClauseBuilder() = default;
+
+ClauseBuilder::ClauseBuilder(ClauseBuilder&& other) noexcept
+    : db_(other.db_),
+      pool_(std::move(other.pool_)),
+      clauses_(std::move(other.clauses_)),
+      seqs_(std::move(other.seqs_)),
+      stats_(other.stats_),
+      streaming_(std::move(other.streaming_)) {
+  // The grouper borrowed the *source's* pool member; point it at ours.
+  if (streaming_ != nullptr) streaming_->rebind_pool(&pool_);
+}
+
+ClauseBuilder::ClauseBuilder(const ClauseBuilder& other)
+    : db_(other.db_),
+      pool_(other.pool_),
+      clauses_(other.clauses_),
+      seqs_(other.seqs_),
+      stats_(other.stats_),
+      streaming_(other.streaming_ == nullptr
+                     ? nullptr
+                     : std::make_unique<StreamingCnfBuilder>(*other.streaming_)) {
+  // The copied grouper borrowed the *source's* pool; point it at ours.
+  if (streaming_ != nullptr) streaming_->rebind_pool(&pool_);
+}
+
+void ClauseBuilder::start_streaming(const CnfBuildOptions& options) {
+  if (!clauses_.empty()) {
+    throw std::logic_error("ClauseBuilder::start_streaming: clauses already buffered");
+  }
+  // Borrow our own pool: on_measurement interns each path exactly once.
+  streaming_ = std::make_unique<StreamingCnfBuilder>(options, &pool_);
+}
+
+void ClauseBuilder::start_streaming() { start_streaming(CnfBuildOptions{}); }
+
+std::vector<TomoCnf> ClauseBuilder::advance_watermark(util::Day complete_before) {
+  if (streaming_ == nullptr) {
+    throw std::logic_error("ClauseBuilder::advance_watermark: streaming mode is off");
+  }
+  return streaming_->advance_watermark(complete_before);
+}
+
+std::vector<TomoCnf> ClauseBuilder::flush() {
+  if (streaming_ == nullptr) {
+    throw std::logic_error("ClauseBuilder::flush: streaming mode is off");
+  }
+  return streaming_->flush();
 }
 
 void ClauseBuilder::on_measurement(const iclab::Measurement& m) {
@@ -44,10 +98,16 @@ void ClauseBuilder::on_measurement(const iclab::Measurement& m) {
     clauses_.push_back(clause);
     seqs_.push_back(m.seq);
     ++stats_.clauses;
+    if (streaming_ != nullptr) streaming_->add(pool_, clause);
   }
 }
 
 void ClauseBuilder::merge(ClauseBuilder&& other) {
+  if (streaming_ != nullptr || other.streaming_ != nullptr) {
+    throw std::logic_error(
+        "ClauseBuilder::merge: streaming builders cannot be merged "
+        "(use analysis::StreamingPipeline's min-merged watermark path)");
+  }
   stats_ += other.stats_;
   clauses_.reserve(clauses_.size() + other.clauses_.size());
   seqs_.reserve(seqs_.size() + other.seqs_.size());
@@ -60,6 +120,12 @@ void ClauseBuilder::merge(ClauseBuilder&& other) {
 }
 
 void ClauseBuilder::canonicalize() {
+  if (streaming_ != nullptr) {
+    throw std::logic_error(
+        "ClauseBuilder::canonicalize: streaming mode borrows the pool and "
+        "cannot survive its renumbering (a streaming builder's stream is "
+        "already serial — there is nothing to canonicalize)");
+  }
   std::vector<std::size_t> order(clauses_.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   // Stable: a measurement's clauses share a seq and keep anomaly order.

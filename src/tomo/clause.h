@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "censor/policy.h"
@@ -24,6 +25,12 @@
 #include "util/timewin.h"
 
 namespace ct::tomo {
+
+// Defined in tomo/cnf_builder.h (which includes this header); the
+// streaming API below hands them across by forward declaration.
+class StreamingCnfBuilder;
+struct CnfBuildOptions;
+struct TomoCnf;
 
 /// Deduplicating store of AS-level paths.
 class PathPool {
@@ -90,9 +97,36 @@ struct ClauseBuildStats {
 class ClauseBuilder : public iclab::MeasurementSink {
  public:
   /// The database must outlive the builder.
-  explicit ClauseBuilder(const net::Ip2AsDb& db) : db_(db) {}
+  explicit ClauseBuilder(const net::Ip2AsDb& db);
+  ~ClauseBuilder();
+
+  /// Copies everything, including any streaming state.
+  ClauseBuilder(const ClauseBuilder& other);
+  ClauseBuilder(ClauseBuilder&&) noexcept;
 
   void on_measurement(const iclab::Measurement& m) override;
+
+  /// Enables incremental CNF emission: from now on every clause is also
+  /// filed into an embedded StreamingCnfBuilder, and the watermark API
+  /// below emits window-complete CNFs while the platform run is still
+  /// in flight.  Requires a *serial* clause stream (ascending
+  /// Measurement::seq, i.e. a one-shard platform run); the sharded
+  /// streaming path min-merges shard streams in
+  /// analysis::StreamingPipeline instead.  Must be called before the
+  /// first measurement.
+  void start_streaming(const CnfBuildOptions& options);
+  void start_streaming();  // all four granularities, require_positive
+  bool streaming() const { return streaming_ != nullptr; }
+
+  /// Declares every measurement with day < complete_before delivered
+  /// (driven by the platform's measurement clock — see
+  /// MeasurementSink::on_epoch_complete) and returns the CNFs of the
+  /// windows that just closed, sorted by key.  Streaming mode only.
+  std::vector<TomoCnf> advance_watermark(util::Day complete_before);
+
+  /// End of run: emits every still-open window, sorted by key — exactly
+  /// the complement of what advance_watermark() emitted.
+  std::vector<TomoCnf> flush();
 
   /// Folds a shard-local builder into this one: clauses are appended
   /// with their path ids re-interned into this builder's pool, stats are
@@ -123,6 +157,9 @@ class ClauseBuilder : public iclab::MeasurementSink {
   std::vector<PathClause> clauses_;
   std::vector<std::int64_t> seqs_;
   ClauseBuildStats stats_;
+  /// Non-null iff streaming mode is on (held by pointer: the complete
+  /// type only exists in cnf_builder.h).
+  std::unique_ptr<StreamingCnfBuilder> streaming_;
 };
 
 }  // namespace ct::tomo

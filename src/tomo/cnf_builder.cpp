@@ -1,8 +1,10 @@
 #include "tomo/cnf_builder.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace ct::tomo {
 
@@ -13,90 +15,126 @@ sat::Var TomoCnf::var_of(topo::AsId as) const {
   return -1;
 }
 
-namespace {
+StreamingCnfBuilder::StreamingCnfBuilder(CnfBuildOptions options)
+    : options_(std::move(options)) {}
 
-struct Group {
-  // Deduplicated positive / negative path ids, insertion-ordered
-  // (positives keep path order for the leakage analysis).
-  std::vector<PathPool::PathId> positive_ids;
-  std::set<PathPool::PathId> positive_seen;
-  std::set<PathPool::PathId> negative_seen;
-};
+StreamingCnfBuilder::StreamingCnfBuilder(CnfBuildOptions options, const PathPool* pool)
+    : options_(std::move(options)), borrowed_pool_(pool) {}
 
-}  // namespace
+void StreamingCnfBuilder::rebind_pool(const PathPool* pool) {
+  if (borrowed_pool_ != nullptr) borrowed_pool_ = pool;
+}
+
+void StreamingCnfBuilder::add(const PathPool& pool, const PathClause& clause) {
+  if (clause.day < watermark_) {
+    throw std::logic_error("StreamingCnfBuilder::add: clause for day " +
+                           std::to_string(clause.day) + " arrived after watermark " +
+                           std::to_string(watermark_) + " (window already emitted)");
+  }
+  // Borrowed pool: ids are already canonical there, no re-intern.
+  const PathPool::PathId path_id =
+      borrowed_pool_ ? clause.path_id : pool_.intern(pool.get(clause.path_id));
+  for (const util::Granularity g : options_.granularities) {
+    CnfKey key;
+    key.url_id = clause.url_id;
+    key.anomaly = clause.anomaly;
+    key.granularity = g;
+    key.window = util::window_of(clause.day, g);
+    Group& group = groups_[key];
+    if (clause.observed) {
+      if (group.positive_seen.insert(path_id).second) {
+        group.positive_ids.push_back(path_id);
+      }
+    } else {
+      group.negative_seen.insert(path_id);
+    }
+  }
+}
+
+TomoCnf StreamingCnfBuilder::build_group(const CnfKey& key, const Group& group) const {
+  TomoCnf tc;
+  tc.key = key;
+
+  // ASes seen on any clean path (the negative units), resolved once —
+  // build_group can run under the streaming coordinator's lock.
+  std::set<topo::AsId> negative_ases;
+  for (const auto id : group.negative_seen) {
+    const auto& path = pool().get(id);
+    negative_ases.insert(path.begin(), path.end());
+  }
+
+  // Variable space: every AS observed in this CNF's clauses.
+  std::set<topo::AsId> as_set = negative_ases;
+  for (const auto id : group.positive_ids) {
+    const auto& path = pool().get(id);
+    as_set.insert(path.begin(), path.end());
+  }
+  tc.vars.assign(as_set.begin(), as_set.end());
+  std::map<topo::AsId, sat::Var> var_of;
+  for (std::size_t v = 0; v < tc.vars.size(); ++v) {
+    var_of[tc.vars[v]] = static_cast<sat::Var>(v);
+  }
+  tc.cnf.num_vars = static_cast<std::int32_t>(tc.vars.size());
+
+  // Negative units, deterministic order.
+  for (const topo::AsId as : negative_ases) {
+    tc.cnf.add_clause({sat::Lit(var_of[as], /*negated=*/true)});
+    ++tc.num_negative_units;
+  }
+  // Positive disjunctions.
+  for (const auto id : group.positive_ids) {
+    const auto& path = pool().get(id);
+    std::vector<sat::Lit> lits;
+    std::set<sat::Var> seen;
+    for (const topo::AsId as : path) {
+      const sat::Var v = var_of[as];
+      if (seen.insert(v).second) lits.emplace_back(v, /*negated=*/false);
+    }
+    tc.cnf.add_clause(std::move(lits));
+    ++tc.num_positive_clauses;
+    tc.positive_paths.push_back(path);
+  }
+  return tc;
+}
+
+std::vector<TomoCnf> StreamingCnfBuilder::advance_watermark(util::Day complete_before) {
+  std::vector<TomoCnf> out;
+  if (complete_before <= watermark_) return out;  // monotone: never lower it
+  watermark_ = complete_before;
+  // groups_ iterates in key order, so the emitted batch is key-sorted.
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    const util::Day window_end = util::window_start(it->first.window, it->first.granularity) +
+                                 util::window_length(it->first.granularity);
+    if (window_end > watermark_) {
+      ++it;
+      continue;
+    }
+    if (!options_.require_positive || !it->second.positive_ids.empty()) {
+      out.push_back(build_group(it->first, it->second));
+      ++emitted_;
+    }
+    it = groups_.erase(it);
+  }
+  return out;
+}
+
+std::vector<TomoCnf> StreamingCnfBuilder::flush() {
+  std::vector<TomoCnf> out;
+  for (const auto& [key, group] : groups_) {
+    if (options_.require_positive && group.positive_ids.empty()) continue;
+    out.push_back(build_group(key, group));
+    ++emitted_;
+  }
+  groups_.clear();
+  watermark_ = std::numeric_limits<util::Day>::max();
+  return out;
+}
 
 std::vector<TomoCnf> build_cnfs(const PathPool& pool, const std::vector<PathClause>& clauses,
                                 const CnfBuildOptions& options) {
-  std::map<CnfKey, Group> groups;
-  for (const PathClause& clause : clauses) {
-    for (const util::Granularity g : options.granularities) {
-      CnfKey key;
-      key.url_id = clause.url_id;
-      key.anomaly = clause.anomaly;
-      key.granularity = g;
-      key.window = util::window_of(clause.day, g);
-      Group& group = groups[key];
-      if (clause.observed) {
-        if (group.positive_seen.insert(clause.path_id).second) {
-          group.positive_ids.push_back(clause.path_id);
-        }
-      } else {
-        group.negative_seen.insert(clause.path_id);
-      }
-    }
-  }
-
-  std::vector<TomoCnf> out;
-  for (auto& [key, group] : groups) {
-    if (options.require_positive && group.positive_ids.empty()) continue;
-
-    TomoCnf tc;
-    tc.key = key;
-
-    // Variable space: every AS observed in this CNF's clauses.
-    std::set<topo::AsId> as_set;
-    for (const auto id : group.negative_seen) {
-      const auto& path = pool.get(id);
-      as_set.insert(path.begin(), path.end());
-    }
-    for (const auto id : group.positive_ids) {
-      const auto& path = pool.get(id);
-      as_set.insert(path.begin(), path.end());
-    }
-    tc.vars.assign(as_set.begin(), as_set.end());
-    std::map<topo::AsId, sat::Var> var_of;
-    for (std::size_t v = 0; v < tc.vars.size(); ++v) {
-      var_of[tc.vars[v]] = static_cast<sat::Var>(v);
-    }
-    tc.cnf.num_vars = static_cast<std::int32_t>(tc.vars.size());
-
-    // Negative units (one per AS seen on any clean path), deterministic
-    // order.
-    std::set<topo::AsId> negative_ases;
-    for (const auto id : group.negative_seen) {
-      const auto& path = pool.get(id);
-      negative_ases.insert(path.begin(), path.end());
-    }
-    for (const topo::AsId as : negative_ases) {
-      tc.cnf.add_clause({sat::Lit(var_of[as], /*negated=*/true)});
-      ++tc.num_negative_units;
-    }
-    // Positive disjunctions.
-    for (const auto id : group.positive_ids) {
-      const auto& path = pool.get(id);
-      std::vector<sat::Lit> lits;
-      std::set<sat::Var> seen;
-      for (const topo::AsId as : path) {
-        const sat::Var v = var_of[as];
-        if (seen.insert(v).second) lits.emplace_back(v, /*negated=*/false);
-      }
-      tc.cnf.add_clause(std::move(lits));
-      ++tc.num_positive_clauses;
-      tc.positive_paths.push_back(path);
-    }
-    out.push_back(std::move(tc));
-  }
-  return out;
+  StreamingCnfBuilder builder(options, &pool);
+  for (const PathClause& clause : clauses) builder.add(pool, clause);
+  return builder.flush();
 }
 
 std::vector<PathClause> strip_path_churn(const PathPool& pool,

@@ -10,9 +10,20 @@
 // Duplicate constraints are deduplicated.  By default, CNFs with no
 // positive clause are skipped: they are trivially uniquely satisfied by
 // the all-False assignment and identify no censors (see DESIGN.md §5).
+//
+// Two construction modes share one grouping implementation:
+//   * build_cnfs() — the batch path: group a fully materialized clause
+//     stream, return every CNF sorted by key.
+//   * StreamingCnfBuilder — the incremental path: feed clauses in
+//     stream order as measurements arrive, and advance_watermark(day)
+//     emits exactly the CNFs whose windows closed, while they are still
+//     warm, so SAT analysis can overlap ingest (README "Streaming
+//     ingest").
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <vector>
 
 #include "sat/types.h"
@@ -55,8 +66,84 @@ struct CnfBuildOptions {
                                                util::Granularity::kYear};
 };
 
+/// Incremental per-window CNF construction.
+///
+/// Clauses must be added in canonical stream order (ClauseBuilder's
+/// serial emission order — ascending Measurement::seq); each add() files
+/// the clause into one open (URL, anomaly, window) group per configured
+/// granularity.  advance_watermark(day) declares every measurement with
+/// m.day < day delivered, closes the windows that end at or before the
+/// watermark, and returns their finished CNFs; flush() closes the rest.
+///
+/// Determinism contract: each call returns its batch sorted by CnfKey,
+/// a window never reopens once emitted (a late add() throws), and the
+/// concatenation of all emitted batches is, as a set, exactly what
+/// build_cnfs() returns on the same stream — bit-identical CNFs, since
+/// both run this class.  The builder owns a private PathPool, so it can
+/// ingest clauses from any caller pool (e.g. the min-merged multi-shard
+/// stream) without coordinating path ids.
+class StreamingCnfBuilder {
+ public:
+  explicit StreamingCnfBuilder(CnfBuildOptions options = {});
+
+  /// Borrowed-pool mode: every add() will come from `*pool`, whose ids
+  /// are already canonical (equal id <=> equal path), so clauses are
+  /// filed with no per-clause re-intern.  The pool must outlive the
+  /// builder (appending to it is fine; renumbering is not).  Every
+  /// production caller uses this mode — build_cnfs, ClauseBuilder, and
+  /// the multi-shard WatermarkCoordinator (which interns shard clauses
+  /// into one pool as they arrive, then borrows it).  The default
+  /// owned-pool mode re-interns per add() for callers whose source pool
+  /// ids are not canonical or not stable.
+  StreamingCnfBuilder(CnfBuildOptions options, const PathPool* pool);
+
+  /// Re-targets borrowed-pool mode at `pool` (no-op when owning); for
+  /// copies whose source borrowed a pool that was copied along with it.
+  void rebind_pool(const PathPool* pool);
+
+  /// Files `clause` (whose path_id resolves in `pool`) into its open
+  /// window groups.  Throws std::logic_error if clause.day precedes the
+  /// watermark — that window has already been emitted.
+  void add(const PathPool& pool, const PathClause& clause);
+
+  /// Raises the watermark to `complete_before` (no-op if not an
+  /// increase) and emits the now-complete CNFs, sorted by key.  A window
+  /// [start, start+len) is complete when start+len <= complete_before.
+  std::vector<TomoCnf> advance_watermark(util::Day complete_before);
+
+  /// Emits every still-open window, sorted by key, and raises the
+  /// watermark past every representable day.  The result is exactly the
+  /// complement of what advance_watermark() calls emitted.
+  std::vector<TomoCnf> flush();
+
+  /// Lowest day a new clause may still carry.
+  util::Day watermark() const { return watermark_; }
+  std::size_t open_windows() const { return groups_.size(); }
+  std::int64_t emitted() const { return emitted_; }
+
+ private:
+  struct Group {
+    // Deduplicated positive / negative path ids, insertion-ordered
+    // (positives keep path order for the leakage analysis).
+    std::vector<PathPool::PathId> positive_ids;
+    std::set<PathPool::PathId> positive_seen;
+    std::set<PathPool::PathId> negative_seen;
+  };
+
+  TomoCnf build_group(const CnfKey& key, const Group& group) const;
+  const PathPool& pool() const { return borrowed_pool_ ? *borrowed_pool_ : pool_; }
+
+  CnfBuildOptions options_;
+  const PathPool* borrowed_pool_ = nullptr;
+  PathPool pool_;  // used only when not borrowing
+  std::map<CnfKey, Group> groups_;
+  util::Day watermark_ = 0;
+  std::int64_t emitted_ = 0;
+};
+
 /// Groups clauses into per-(URL, anomaly, window) CNFs.  Output is
-/// sorted by key, deterministic.
+/// sorted by key, deterministic.  Implemented as a StreamingCnfBuilder
+/// fed with the whole stream and flushed once.
 std::vector<TomoCnf> build_cnfs(const PathPool& pool, const std::vector<PathClause>& clauses,
                                 const CnfBuildOptions& options = {});
 

@@ -98,6 +98,77 @@ std::vector<CnfVerdict> analyze_cnfs(const std::vector<TomoCnf>& cnfs,
   return out;
 }
 
+StreamingAnalyzer::StreamingAnalyzer(util::BoundedQueue<TomoCnf>& queue,
+                                     const AnalysisOptions& options)
+    : queue_(queue), options_(options) {
+  const unsigned threads = options.num_threads == 0 ? util::ThreadPool::hardware_threads()
+                                                    : options.num_threads;
+  workers_.reserve(threads);
+  try {
+    for (unsigned w = 0; w < threads; ++w) {
+      workers_.push_back(std::make_unique<Worker>());
+      Worker* worker = workers_.back().get();
+      worker->thread = std::thread([this, worker] {
+        try {
+          while (std::optional<TomoCnf> tc = queue_.pop()) {
+            CnfVerdict verdict = worker->arena.analyze(*tc, options_);
+            worker->done.emplace_back(std::move(*tc), std::move(verdict));
+          }
+        } catch (...) {
+          worker->error = std::current_exception();
+          // Keep draining (and discarding) so a full queue never blocks
+          // the producers after this worker bowed out.
+          while (queue_.pop()) {
+          }
+        }
+      });
+    }
+  } catch (...) {
+    // A failed spawn (e.g. thread exhaustion) must not strand the
+    // already-started workers on the open queue — and unwinding with
+    // joinable std::threads would terminate().
+    queue_.close();
+    join_all();
+    throw;
+  }
+}
+
+StreamingAnalyzer::~StreamingAnalyzer() { join_all(); }
+
+void StreamingAnalyzer::join_all() {
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+StreamingAnalyzer::Result StreamingAnalyzer::finish() {
+  join_all();
+  Result result;
+  std::size_t total = 0;
+  for (const auto& worker : workers_) {
+    if (worker->error) std::rethrow_exception(worker->error);
+    total += worker->done.size();
+  }
+  std::vector<std::pair<TomoCnf, CnfVerdict>> pairs;
+  pairs.reserve(total);
+  for (auto& worker : workers_) {
+    for (auto& p : worker->done) pairs.push_back(std::move(p));
+    worker->done.clear();
+    accumulate(&result.stats, worker->arena.session_stats());
+  }
+  // Keys are unique per run (one CNF per (URL, anomaly, window)), so
+  // this order is total and matches build_cnfs' key-sorted output.
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first.key < b.first.key; });
+  result.cnfs.reserve(pairs.size());
+  result.verdicts.reserve(pairs.size());
+  for (auto& [cnf, verdict] : pairs) {
+    result.cnfs.push_back(std::move(cnf));
+    result.verdicts.push_back(std::move(verdict));
+  }
+  return result;
+}
+
 std::vector<topo::AsId> identified_censors(const std::vector<CnfVerdict>& verdicts,
                                            std::int32_t min_support) {
   // Support = distinct (URL, anomaly) pairs with a unique-solution CNF

@@ -23,11 +23,16 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "censor/policy.h"
 #include "sat/session.h"
 #include "tomo/cnf_builder.h"
+#include "util/bounded_queue.h"
 
 namespace ct::tomo {
 
@@ -94,6 +99,57 @@ CnfVerdict analyze_cnf(const TomoCnf& tc, const AnalysisOptions& options = {});
 std::vector<CnfVerdict> analyze_cnfs(const std::vector<TomoCnf>& cnfs,
                                      const AnalysisOptions& options = {},
                                      EngineStats* stats = nullptr);
+
+/// Streamed work intake for the analyzer pool: dedicated worker threads
+/// pop window-complete CNFs from a BoundedQueue *while producers are
+/// still pushing*, each worker reusing one CnfAnalyzer session arena —
+/// so SAT analysis overlaps measurement ingest instead of waiting for
+/// the full batch (README "Streaming ingest").
+///
+/// Determinism contract: a verdict depends only on its CNF and
+/// `options` (never on which worker analyzed it or in what order), and
+/// finish() sorts the collected (CNF, verdict) pairs by CnfKey — so the
+/// result is byte-identical to analyze_cnfs() over the same CNFs sorted
+/// by key, for any worker count and any queue interleaving.
+class StreamingAnalyzer {
+ public:
+  struct Result {
+    std::vector<TomoCnf> cnfs;         // sorted by key
+    std::vector<CnfVerdict> verdicts;  // verdicts[i] is cnfs[i]'s
+    EngineStats stats;                 // summed over worker arenas
+  };
+
+  /// Starts options.num_threads workers (0 = hardware concurrency)
+  /// consuming `queue` immediately.  The queue must outlive finish().
+  StreamingAnalyzer(util::BoundedQueue<TomoCnf>& queue, const AnalysisOptions& options);
+  /// Joins the workers (the queue must already be closed) if finish()
+  /// was never called.
+  ~StreamingAnalyzer();
+
+  StreamingAnalyzer(const StreamingAnalyzer&) = delete;
+  StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
+
+  unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Blocks until the queue is closed and drained, joins the workers,
+  /// and returns every analyzed CNF with its verdict, key-sorted.
+  /// Rethrows the first exception any worker hit.  Call at most once.
+  Result finish();
+
+ private:
+  struct Worker {
+    CnfAnalyzer arena;
+    std::vector<std::pair<TomoCnf, CnfVerdict>> done;
+    std::exception_ptr error;
+    std::thread thread;
+  };
+
+  void join_all();
+
+  util::BoundedQueue<TomoCnf>& queue_;
+  AnalysisOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
 
 /// Union of exactly-identified censors across single-solution verdicts,
 /// sorted ascending.

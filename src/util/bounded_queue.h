@@ -1,0 +1,93 @@
+// A bounded multi-producer / multi-consumer FIFO queue.
+//
+// The streaming pipeline's hand-off point: producers (platform shard
+// threads emitting window-complete CNFs) block in push() while the
+// queue is at capacity, which back-pressures ingest instead of letting
+// the emitted-but-unanalyzed set grow without bound; consumers
+// (analyzer workers) block in pop() while the queue is empty.  close()
+// wakes everyone: pending and later push() calls return false, and
+// pop() drains whatever is buffered before returning nullopt — so a
+// consumer loop `while (auto item = q.pop())` sees every item pushed
+// before close() exactly once.
+//
+// Items dequeue in global FIFO order, which in particular preserves
+// each producer's own push order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ct::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// capacity == 0 is promoted to 1 (a zero-capacity queue could never
+  /// accept an item).
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full.  Returns false (dropping `item`)
+  /// if the queue was closed before space became available.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open.  Returns nullopt only
+  /// once the queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Idempotent.  After close(), push() refuses new items and pop()
+  /// drains the backlog then reports end-of-stream.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ct::util

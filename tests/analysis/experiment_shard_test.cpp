@@ -23,6 +23,7 @@
 #include "analysis/scenario.h"
 #include "expect_churn.h"
 #include "sat/dimacs.h"
+#include "shard_env.h"
 #include "tomo/clause.h"
 #include "tomo/cnf_builder.h"
 
@@ -30,13 +31,7 @@ namespace ct::analysis {
 namespace {
 
 using test::expect_churn_equal;
-
-ScenarioConfig shard_scenario(std::uint64_t seed) {
-  ScenarioConfig cfg = small_scenario();
-  cfg.platform.num_days = 3 * util::kDaysPerWeek;
-  cfg.seed = seed;
-  return cfg;
-}
+using test::shard_scenario;
 
 void expect_pools_equal(const tomo::PathPool& a, const tomo::PathPool& b) {
   ASSERT_EQ(a.size(), b.size());

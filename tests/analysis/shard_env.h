@@ -1,15 +1,48 @@
-// Shared test helper: the CT_PLATFORM_SHARDS contract.  CI runs the
-// suite once with a serial platform (1, the default) and once sharded;
-// results must be identical in both configurations.
+// Shared test helpers for the execution-mode contracts.
+//
+// CI runs the suite across a matrix of execution modes; results must be
+// identical in every configuration:
+//   * CT_PLATFORM_SHARDS — serial (1, the default) vs sharded platform,
+//   * CT_STREAMING — batch (0, the default) vs streaming pipeline
+//     (README "Streaming ingest").
+// Tests that run the full experiment read both knobs from here, so the
+// env contract lives in exactly one place; the equivalence suites
+// (experiment_shard_test.cpp, streaming_equivalence_test.cpp) share
+// shard_scenario() for the same reason.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
+
+#include "analysis/experiment.h"
+#include "analysis/scenario.h"
+#include "util/timewin.h"
 
 namespace ct::analysis::test {
 
 inline unsigned shards_from_env() {
   const char* env = std::getenv("CT_PLATFORM_SHARDS");
   return env == nullptr ? 1 : static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+}
+
+inline bool streaming_from_env() {
+  const char* env = std::getenv("CT_STREAMING");
+  return env != nullptr && std::strtoul(env, nullptr, 10) != 0;
+}
+
+/// Applies both env knobs to an options struct.
+inline void apply_env(ExperimentOptions& options) {
+  options.num_platform_shards = shards_from_env();
+  options.streaming = streaming_from_env();
+}
+
+/// The equivalence suites' scenario: small, but long enough (3 weeks)
+/// that day/week windows close mid-run and shard plans have room.
+inline ScenarioConfig shard_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg = small_scenario();
+  cfg.platform.num_days = 3 * util::kDaysPerWeek;
+  cfg.seed = seed;
+  return cfg;
 }
 
 }  // namespace ct::analysis::test

@@ -1,0 +1,152 @@
+// util::BoundedQueue unit + stress tests: FIFO order per producer,
+// close() semantics (refuse new pushes, drain the backlog, wake
+// blocked waiters), capacity back-pressure, and a multi-producer /
+// multi-consumer stress run.  The stress tests use modest item counts
+// and join with the default gtest timeout headroom so they stay
+// sanitizer-friendly.
+#include "util/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ct::util {
+namespace {
+
+TEST(BoundedQueue, SingleThreadFifo) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, ZeroCapacityIsPromotedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.push(42));
+  EXPECT_EQ(q.pop().value(), 42);
+}
+
+TEST(BoundedQueue, CloseDrainsBacklogThenEndsStream) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(3));  // refused after close
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // drained + closed = end of stream
+  EXPECT_FALSE(q.pop().has_value());  // and stays that way
+  q.close();                          // idempotent
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> got_end{false};
+  std::thread consumer([&] {
+    while (q.pop()) {
+    }
+    got_end = true;
+  });
+  // Give the consumer a moment to block on the empty queue, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(got_end);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(0));  // queue now full
+  std::atomic<bool> refused{false};
+  std::thread producer([&] { refused = !q.push(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_TRUE(refused);  // woken by close, not by space
+  EXPECT_EQ(q.pop().value(), 0);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CapacityBackpressuresProducer) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(0));
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_pushed);  // still blocked on the full queue
+  EXPECT_EQ(q.pop().value(), 0);
+  producer.join();  // the pop freed a slot
+  EXPECT_TRUE(third_pushed);
+  q.close();
+}
+
+// Multi-producer / multi-consumer stress: every pushed item is popped
+// exactly once, and each producer's items come out in its push order.
+TEST(BoundedQueueStress, MpmcDeliversEachItemOnceInProducerOrder) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<std::pair<int, int>> q(16);  // (producer, index)
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) ASSERT_TRUE(q.push({p, i}));
+    });
+  }
+  std::vector<std::vector<std::pair<int, int>>> consumed(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &consumed, c] {
+      while (auto item = q.pop()) consumed[static_cast<std::size_t>(c)].push_back(*item);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  // Exactly-once delivery.
+  std::map<int, std::vector<int>> by_producer;
+  std::size_t total = 0;
+  for (const auto& items : consumed) {
+    total += items.size();
+    for (const auto& [p, i] : items) by_producer[p].push_back(i);
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kProducers) * kPerProducer);
+  for (auto& [p, indices] : by_producer) {
+    std::sort(indices.begin(), indices.end());
+    ASSERT_EQ(indices.size(), static_cast<std::size_t>(kPerProducer)) << "producer " << p;
+    for (int i = 0; i < kPerProducer; ++i) EXPECT_EQ(indices[static_cast<std::size_t>(i)], i);
+  }
+
+  // Per-producer FIFO: within one consumer's stream, any two items of
+  // the same producer appear in push order (global FIFO implies it).
+  for (const auto& items : consumed) {
+    std::map<int, int> last_index;
+    for (const auto& [p, i] : items) {
+      const auto it = last_index.find(p);
+      if (it != last_index.end()) EXPECT_LT(it->second, i);
+      last_index[p] = i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ct::util
