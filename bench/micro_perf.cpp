@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 #include "analysis/platform_sinks.h"
 #include "analysis/scenario.h"
@@ -13,6 +14,7 @@
 #include "iclab/platform.h"
 #include "util/thread_pool.h"
 #include "net/traceroute.h"
+#include "sat/backend.h"
 #include "sat/counter.h"
 #include "sat/enumerate.h"
 #include "sat/session.h"
@@ -206,6 +208,46 @@ void BM_TomoQueriesSession(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TomoQueriesSession);
+
+// Per-CNF backend selection on the default-scenario year's CNFs, under
+// the count-resolving (Figure-4) workload where backend choice matters
+// most.  Verdicts are byte-identical across all four modes (the
+// backend equivalence suite enforces it); the delta is pure wall
+// clock, and BM_BackendMix/auto must beat BM_BackendMix/cdcl —
+// that ratio is the value of the selection policy.  num_threads = 1
+// isolates backend cost from pool scaling.
+void BM_BackendMix(benchmark::State& state, sat::BackendSelector::Mode mode) {
+  static const std::vector<tomo::TomoCnf>* cnfs = [] {
+    analysis::Scenario scenario(analysis::default_scenario());
+    const auto sinks = analysis::run_platform(scenario, 0);
+    return new std::vector<tomo::TomoCnf>(tomo::build_cnfs(
+        sinks->clause_builder.pool(), sinks->clause_builder.clauses()));
+  }();
+  tomo::AnalysisOptions options;
+  options.resolve_counts = true;
+  options.num_threads = 1;
+  options.backend.mode = mode;
+  tomo::EngineStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tomo::analyze_cnfs(*cnfs, options, &stats));
+  }
+  state.counters["cnfs"] = static_cast<double>(cnfs->size());
+  for (std::size_t k = 0; k < sat::kNumBackendKinds; ++k) {
+    state.counters[std::string("served_") +
+                   sat::to_string(static_cast<sat::BackendKind>(k))] =
+        static_cast<double>(stats.backends[k].served);
+  }
+  state.counters["escalated"] = static_cast<double>(
+      stats.backends[static_cast<std::size_t>(sat::BackendKind::kUnitProp)].escalated);
+}
+BENCHMARK_CAPTURE(BM_BackendMix, auto, sat::BackendSelector::Mode::kAuto)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BackendMix, cdcl, sat::BackendSelector::Mode::kCdcl)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BackendMix, count, sat::BackendSelector::Mode::kCount)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BackendMix, unitprop, sat::BackendSelector::Mode::kUnitProp)
+    ->Unit(benchmark::kMillisecond);
 
 std::vector<tomo::TomoCnf> tomo_cnf_batch(std::size_t n) {
   std::vector<tomo::TomoCnf> cnfs;

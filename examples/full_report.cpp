@@ -2,7 +2,7 @@
 // table and figure of the paper, plus ground-truth validation.  Also
 // drops plot-ready CSV series for each figure.
 //
-//   $ ./full_report [seed] [csv-dir]
+//   $ [CT_SAT_BACKEND={auto,cdcl,count,unitprop}] ./full_report [seed] [csv-dir]
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -10,19 +10,25 @@
 #include "analysis/csv_export.h"
 #include "analysis/experiment.h"
 #include "analysis/report.h"
+#include "sat/backend.h"
 
 int main(int argc, char** argv) {
   ct::analysis::ScenarioConfig config = ct::analysis::default_scenario();
   if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
 
+  ct::analysis::ExperimentOptions options;
+  options.analysis.backend = ct::sat::BackendSelector::from_env();
+
   std::cout << "churntomo full report: seed " << config.seed << ", "
             << config.topology.num_ases << " ASes, " << config.platform.num_vantages
             << " vantage ASes x " << config.platform.vp_nodes_per_as << " nodes, "
             << config.platform.num_urls << " URLs, " << config.platform.num_days
-            << " days\n\n";
+            << " days, SAT backend "
+            << ct::sat::BackendSelector::to_string(options.analysis.backend.mode) << "\n\n";
 
   ct::analysis::Scenario scenario(config);
-  const ct::analysis::ExperimentResult result = ct::analysis::run_experiment(scenario);
+  const ct::analysis::ExperimentResult result =
+      ct::analysis::run_experiment(scenario, options);
   std::cout << ct::analysis::render_all(result, scenario);
 
   const std::string csv_dir = argc > 2 ? argv[2] : "report_csv";

@@ -189,6 +189,7 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
   std::unique_ptr<PlatformSinks> sinks;
   std::vector<tomo::TomoCnf> cnfs;
   std::vector<tomo::CnfVerdict> verdicts;
+  tomo::EngineStats engine_stats;
   if (options.streaming) {
     StreamingOptions streaming;
     streaming.num_platform_shards = options.num_platform_shards;
@@ -197,10 +198,11 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
     sinks = std::move(piped.sinks);
     cnfs = std::move(piped.cnfs);
     verdicts = std::move(piped.verdicts);
+    engine_stats = piped.engine_stats;
   } else {
     sinks = run_platform(scenario, options.num_platform_shards);
     cnfs = tomo::build_cnfs(sinks->clause_builder.pool(), sinks->clause_builder.clauses());
-    verdicts = tomo::analyze_cnfs(cnfs, main_analysis);
+    verdicts = tomo::analyze_cnfs(cnfs, main_analysis, &engine_stats);
   }
 
   const iclab::DatasetSummary& summary = sinks->summary;
@@ -209,6 +211,7 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
   const TruthTracker& truth_tracker = sinks->truth_tracker;
 
   ExperimentResult result;
+  result.engine_stats = engine_stats;
 
   // --- Table 1 ---
   result.table1.measurements = summary.measurements();

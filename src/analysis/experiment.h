@@ -128,6 +128,11 @@ struct ExperimentResult {
 
   /// Total CNFs analyzed (positive-clause-bearing, all granularities).
   std::int64_t total_cnfs = 0;
+
+  /// SAT engine counters of the main analysis pass (loads, solves, and
+  /// per-backend selected/served/escalated counts; Figure 4's ablation
+  /// pass is not included).
+  tomo::EngineStats engine_stats;
 };
 
 struct ExperimentOptions {

@@ -21,7 +21,7 @@ std::unique_ptr<PlatformSinks> run_platform(Scenario& scenario, unsigned num_sha
   std::vector<iclab::MeasurementSink*> targets;
   targets.reserve(plan.sinks.size());
   for (const auto& sinks : plan.sinks) targets.push_back(&sinks->fanout);
-  platform.run_shards(plan.ranges, targets, plan.workers);
+  platform.run_shards(plan.ranges, targets, plan.workers, plan.route_cache.get());
   return merge_shard_sinks(std::move(plan.sinks));
 }
 
@@ -36,6 +36,9 @@ ShardPlan plan_shard_sinks(Scenario& scenario, unsigned num_shards) {
     plan.sinks.push_back(std::make_unique<PlatformSinks>(scenario));
   }
   plan.workers = std::min(num_shards, util::ThreadPool::hardware_threads());
+  plan.route_cache = std::make_shared<bgp::EpochRouteCache>();
+  iclab::expect_shard_epochs(*plan.route_cache, plan.ranges,
+                             platform.config().epochs_per_day);
   return plan;
 }
 

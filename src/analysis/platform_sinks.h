@@ -12,6 +12,7 @@
 #include "analysis/churn_stats.h"
 #include "analysis/scenario.h"
 #include "analysis/truth_tracker.h"
+#include "bgp/route_cache.h"
 #include "iclab/platform.h"
 #include "tomo/clause.h"
 
@@ -60,17 +61,23 @@ struct PlatformSinks {
 std::unique_ptr<PlatformSinks> run_platform(Scenario& scenario, unsigned num_shards);
 
 /// One planned sharded run: the shard ranges, a fresh sink bundle per
-/// shard, and the worker count (shards capped at hardware threads).
-/// Shared by run_platform and the streaming pipeline so the plan and
-/// pool-sizing policy cannot diverge between the two paths.
+/// shard, the worker count (shards capped at hardware threads), and the
+/// shared per-epoch route-table cache.  Shared by run_platform and the
+/// streaming pipeline so the plan and pool-sizing policy cannot diverge
+/// between the two paths.
 struct ShardPlan {
   std::vector<iclab::ShardRange> ranges;
   std::vector<std::unique_ptr<PlatformSinks>> sinks;  // parallel to ranges
   unsigned workers = 1;
+  /// Pre-planned (expect_shard_epochs) cache: vantage-split shards
+  /// share each epoch's bgp::RouteTableSet instead of recomputing it
+  /// per column, and day-split shards share their boundary-priming
+  /// views.  Forwarded to every run_shard of the plan.
+  std::shared_ptr<bgp::EpochRouteCache> route_cache;
 };
 
 /// Plans `num_shards` (vantage, day) shards over the scenario's
-/// schedule and allocates their sink bundles.
+/// schedule and allocates their sink bundles and route cache.
 ShardPlan plan_shard_sinks(Scenario& scenario, unsigned num_shards);
 
 /// Folds shard-local sink bundles (in plan order) into shard_sinks[0],

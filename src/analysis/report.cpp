@@ -245,6 +245,25 @@ std::string render_score(const ExperimentResult& result, const Scenario& scenari
   return out.str();
 }
 
+std::string render_backends(const ExperimentResult& result) {
+  const auto& stats = result.engine_stats;
+  util::TextTable table({"Backend", "Selected", "Served", "Escalated"});
+  for (std::size_t k = 0; k < sat::kNumBackendKinds; ++k) {
+    const sat::BackendCounters& c = stats.backends[k];
+    table.add_row({sat::to_string(static_cast<sat::BackendKind>(k)),
+                   fmt_count(static_cast<std::int64_t>(c.selected)),
+                   fmt_count(static_cast<std::int64_t>(c.served)),
+                   fmt_count(static_cast<std::int64_t>(c.escalated))});
+  }
+  std::ostringstream out;
+  out << table.render("SAT backend mix (main analysis pass)");
+  out << "  CNF loads: " << fmt_count(static_cast<std::int64_t>(stats.cnf_loads))
+      << "   solver calls: " << fmt_count(static_cast<std::int64_t>(stats.solve_calls))
+      << "   models found: " << fmt_count(static_cast<std::int64_t>(stats.models_found))
+      << "   arenas: " << stats.arenas << "\n";
+  return out.str();
+}
+
 std::string render_all(const ExperimentResult& result, const Scenario& scenario) {
   std::ostringstream out;
   out << render_headline(result) << "\n"
@@ -257,7 +276,8 @@ std::string render_all(const ExperimentResult& result, const Scenario& scenario)
       << render_table2(result) << "\n"
       << render_table3(result) << "\n"
       << render_fig5(result) << "\n"
-      << render_score(result, scenario);
+      << render_score(result, scenario) << "\n"
+      << render_backends(result);
   return out.str();
 }
 

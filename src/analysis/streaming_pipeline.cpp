@@ -210,7 +210,7 @@ StreamingResult run_streaming_pipeline(Scenario& scenario, const StreamingOption
     // that shard's watermark to "done".
     util::ThreadPool pool(plan.workers);
     pool.for_each_index(plan.ranges.size(), [&](unsigned /*worker*/, std::size_t i) {
-      platform.run_shard(plan.sinks[i]->fanout, plan.ranges[i]);
+      platform.run_shard(plan.sinks[i]->fanout, plan.ranges[i], plan.route_cache.get());
       coordinator.shard_finished(i, plan.sinks[i]->clause_builder, taps[i]->sent());
     });
     coordinator.finish();

@@ -1,0 +1,66 @@
+#include "bgp/route_cache.h"
+
+#include <utility>
+
+namespace ct::bgp {
+
+void EpochRouteCache::expect(std::int64_t epoch, std::int32_t uses) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  expected_[epoch] += uses;
+}
+
+std::shared_ptr<const RouteTableSet> EpochRouteCache::get(std::int64_t epoch,
+                                                          const Compute& compute) {
+  std::promise<std::shared_ptr<const RouteTableSet>> promise;
+  std::shared_future<std::shared_ptr<const RouteTableSet>> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++lookups_;
+    auto it = entries_.find(epoch);
+    if (it == entries_.end()) {
+      Entry entry;
+      entry.tables = promise.get_future().share();
+      // Consume the plan: a get() after the planned users drained (or
+      // with no plan at all) must compute and drop immediately, not
+      // re-pin the entry for users that will never come.
+      const auto expected = expected_.find(epoch);
+      entry.remaining = expected == expected_.end() ? 1 : expected->second;
+      if (expected != expected_.end()) expected_.erase(expected);
+      it = entries_.emplace(epoch, std::move(entry)).first;
+      owner = true;
+    } else {
+      ++hits_;
+    }
+    future = it->second.tables;
+    // The map entry only tracks planned users; the shared_future (and
+    // the shared_ptr it yields) keep the tables alive for the takers.
+    if (--it->second.remaining <= 0) entries_.erase(it);
+  }
+  if (owner) {
+    // Compute outside the lock: only same-epoch callers wait.
+    try {
+      promise.set_value(std::make_shared<const RouteTableSet>(compute()));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::uint64_t EpochRouteCache::lookups() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lookups_;
+}
+
+std::uint64_t EpochRouteCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t EpochRouteCache::live_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace ct::bgp

@@ -1,0 +1,69 @@
+// Shared per-epoch route-table cache for sharded platform runs.
+//
+// The churn trajectory is a deterministic function of the scenario
+// seed, so every shard simulating a given epoch sees the same link
+// state and would compute an identical bgp::RouteTableSet.  Shards that
+// split the *vantage* dimension cover the same (day, epoch) columns and
+// used to recompute that set once per column; shards that split the
+// *day* dimension recompute their predecessor's last epoch to prime the
+// route-flutter history.  EpochRouteCache shares one immutable
+// RouteTableSet per epoch across all of them.
+//
+// Concurrency and memory: get() is thread-safe; the first caller for an
+// epoch computes (others asking for the same epoch wait on its future,
+// callers for other epochs proceed).  Entries are reference-planned —
+// expect() declares how many get() calls will ask for an epoch, and the
+// entry is dropped the moment the last planned user has taken its
+// shared_ptr, so the cache holds only the epochs whose sharers have not
+// all arrived yet (bounded by shard skew, not by the year length).  An
+// unplanned get() computes and drops immediately: never wrong, just a
+// miss.  Sharing cached tables cannot change any output — every shard
+// would have computed byte-identical tables itself (the shard
+// equivalence suite runs with the cache on).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "bgp/routing.h"
+
+namespace ct::bgp {
+
+class EpochRouteCache {
+ public:
+  using Compute = std::function<RouteTableSet()>;
+
+  /// Declares that `uses` additional get() calls will ask for `epoch`.
+  /// Call before the run starts (e.g. once per shard covering the
+  /// epoch, plus one per shard priming from it).
+  void expect(std::int64_t epoch, std::int32_t uses);
+
+  /// The routing view of `epoch`: computed via `compute` by the first
+  /// caller, shared with every other planned caller, and evicted once
+  /// all planned callers have taken it.
+  std::shared_ptr<const RouteTableSet> get(std::int64_t epoch, const Compute& compute);
+
+  std::uint64_t lookups() const;
+  /// get() calls served from an already-computed (or in-flight) entry.
+  std::uint64_t hits() const;
+  /// Entries still waiting for planned users (0 after a complete run).
+  std::size_t live_entries() const;
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const RouteTableSet>> tables;
+    std::int32_t remaining = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::int64_t, std::int32_t> expected_;
+  std::map<std::int64_t, Entry> entries_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace ct::bgp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <set>
 #include <stdexcept>
 
@@ -201,7 +202,22 @@ void Platform::run(MeasurementSink& sink) const {
   run_shard(sink, all);
 }
 
-void Platform::run_shard(MeasurementSink& sink, const ShardRange& range) const {
+void expect_shard_epochs(bgp::EpochRouteCache& cache, const std::vector<ShardRange>& ranges,
+                         std::int32_t epochs_per_day) {
+  for (const auto& r : ranges) {
+    for (util::Day day = r.day_begin; day < r.day_end; ++day) {
+      for (std::int32_t e = 0; e < epochs_per_day; ++e) {
+        cache.expect(static_cast<std::int64_t>(day) * epochs_per_day + e, 1);
+      }
+    }
+    if (r.day_begin > 0) {
+      cache.expect(static_cast<std::int64_t>(r.day_begin) * epochs_per_day - 1, 1);
+    }
+  }
+}
+
+void Platform::run_shard(MeasurementSink& sink, const ShardRange& range,
+                         bgp::EpochRouteCache* route_cache) const {
   if (range.day_begin < 0 || range.day_begin >= range.day_end ||
       range.day_end > config_.num_days || range.vantage_begin < 0 ||
       range.vantage_begin >= range.vantage_end ||
@@ -304,13 +320,28 @@ void Platform::run_shard(MeasurementSink& sink, const ShardRange& range) const {
     return path;
   };
 
+  // The routing view of the epoch the churn engine currently sits at:
+  // shared through the cache when one is attached (identical tables —
+  // the churn trajectory is a pure function of the seed), computed
+  // locally otherwise.
+  const auto epoch_tables = [&](std::int64_t global_epoch) {
+    if (route_cache != nullptr) {
+      return route_cache->get(global_epoch, [&] {
+        return bgp::RouteTableSet(computer, dest_ases_, churn.link_up());
+      });
+    }
+    return std::make_shared<const bgp::RouteTableSet>(computer, dest_ases_, churn.link_up());
+  };
+
   // A shard starting mid-year reconstructs its starting state: the churn
   // process is replayed to the epoch before the shard's first, and that
   // epoch's routing view primes the flutter history exactly as the
   // serial run would have left it.
   if (range.day_begin > 0) {
     churn.advance_to(static_cast<std::int64_t>(range.day_begin) * epochs_per_day - 1);
-    const bgp::RouteTableSet tables(computer, dest_ases_, churn.link_up());
+    const std::shared_ptr<const bgp::RouteTableSet> tables_ptr =
+        epoch_tables(churn.epoch());
+    const bgp::RouteTableSet& tables = *tables_ptr;
     for (std::size_t di = 0; di < dest_ases_.size(); ++di) {
       for (std::size_t vi = vantage_begin; vi < vantage_end; ++vi) {
         for (std::size_t node = 0; node < nodes; ++node) {
@@ -328,8 +359,11 @@ void Platform::run_shard(MeasurementSink& sink, const ShardRange& range) const {
                                         static_cast<std::int64_t>(epoch);
       if (global_epoch > 0) churn.advance();
       // The shard's routing view of this epoch: one table per
-      // destination, shared by every vantage below.
-      const bgp::RouteTableSet tables(computer, dest_ases_, churn.link_up());
+      // destination, shared by every vantage below (and, with a cache,
+      // by every shard covering this epoch).
+      const std::shared_ptr<const bgp::RouteTableSet> tables_ptr =
+          epoch_tables(global_epoch);
+      const bgp::RouteTableSet& tables = *tables_ptr;
 
       for (std::size_t di = 0; di < dest_ases_.size(); ++di) {
         const AsId dest = dest_ases_[di];
@@ -401,7 +435,7 @@ void Platform::run_shard(MeasurementSink& sink, const ShardRange& range) const {
 
 void Platform::run_shards(const std::vector<ShardRange>& ranges,
                           const std::vector<MeasurementSink*>& sinks,
-                          unsigned num_threads) const {
+                          unsigned num_threads, bgp::EpochRouteCache* route_cache) const {
   if (ranges.size() != sinks.size()) {
     throw std::invalid_argument("Platform::run_shards: ranges/sinks size mismatch");
   }
@@ -411,7 +445,7 @@ void Platform::run_shards(const std::vector<ShardRange>& ranges,
       static_cast<unsigned>(ranges.size()));
   util::ThreadPool pool(workers);
   pool.for_each_index(ranges.size(), [&](unsigned /*worker*/, std::size_t i) {
-    run_shard(*sinks[i], ranges[i]);
+    run_shard(*sinks[i], ranges[i], route_cache);
   });
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bgp/churn.h"
+#include "bgp/route_cache.h"
 #include "bgp/routing.h"
 #include "censor/policy.h"
 #include "net/traceroute.h"
@@ -192,6 +193,13 @@ std::vector<ShardRange> plan_shard_grid(util::Day num_days, std::int32_t num_van
 std::vector<ShardRange> plan_shards(util::Day num_days, std::int32_t num_vantages,
                                     std::int32_t num_shards);
 
+/// Registers every epoch the shards of `ranges` will request with the
+/// cache: one planned use per shard per covered epoch, plus one for
+/// each mid-year shard's flutter-priming epoch (the epoch before its
+/// first day).  Call once before running the shards against `cache`.
+void expect_shard_epochs(bgp::EpochRouteCache& cache, const std::vector<ShardRange>& ranges,
+                         std::int32_t epochs_per_day);
+
 class Platform {
  public:
   /// The graph, registry, and plan must outlive the platform.  Selects
@@ -215,15 +223,23 @@ class Platform {
   /// of shards is bit-identical to the serial run's stream.
   /// on_day_start fires once per shard per covered day (shards that
   /// split the vantage dimension share days).
-  void run_shard(MeasurementSink& sink, const ShardRange& range) const;
+  ///
+  /// When `route_cache` is non-null, per-epoch routing views are taken
+  /// from (and shared through) the cache instead of recomputed — the
+  /// tables are a pure function of the epoch, so the output stream is
+  /// unchanged.  Prime the cache with expect_shard_epochs().
+  void run_shard(MeasurementSink& sink, const ShardRange& range,
+                 bgp::EpochRouteCache* route_cache = nullptr) const;
 
   /// Runs `ranges` concurrently on an internal thread pool
   /// (num_threads == 0 selects hardware concurrency), streaming shard i
   /// into *sinks[i].  Sinks must be distinct objects; each is driven
   /// from exactly one task, so sinks need no locking of their own.
+  /// `route_cache` is forwarded to every run_shard call.
   void run_shards(const std::vector<ShardRange>& ranges,
                   const std::vector<MeasurementSink*>& sinks,
-                  unsigned num_threads = 0) const;
+                  unsigned num_threads = 0,
+                  bgp::EpochRouteCache* route_cache = nullptr) const;
 
   const std::vector<topo::AsId>& vantages() const { return vantages_; }
   const std::vector<Url>& urls() const { return urls_; }

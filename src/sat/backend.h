@@ -1,0 +1,231 @@
+// Pluggable SAT backends (ROADMAP "Multi-backend solver interface").
+//
+// sat::SolverSession is the single choke point for every tomography
+// query, but the workload behind it is wildly heterogeneous: most
+// per-URL CNFs are tiny and decided by unit propagation alone, while
+// Figure-4 count resolution is exactly what the DPLL ModelCounter does
+// better than blocking-clause enumeration.  SolverBackend is the seam
+// that lets the session pick a solving strategy per CNF:
+//
+//   * CdclBackend — the in-tree incremental CDCL Solver, the default
+//     and the only backend implementing the full search contract
+//     (solve under assumptions, model access, guarded blocking
+//     clauses, retraction).
+//   * CountingBackend — CdclBackend plus an exact_count() fast path
+//     through ModelCounter, so capped counting and 0/1/2+
+//     classification never enumerate blocking clauses.
+//   * UnitPropBackend — a presolve-only fast path: if unit propagation
+//     alone decides the CNF (conflict, or every clause satisfied), the
+//     session serves every query from the propagation outcome with no
+//     search at all; otherwise presolve() reports "escalate" and the
+//     session falls back to the plan's fallback backend.
+//
+// BackendSelector is the per-CNF policy: given the formula's shape
+// (vars, clauses, unit density) and the query workload (count_cap,
+// resolve_counts) it returns a BackendPlan — primary backend plus the
+// escalation target.  Every backend is *semantically exact*, so
+// verdicts are byte-identical whichever backend serves them; the
+// forced-backend equivalence suite holds the pipeline to that.
+//
+// External solvers (CaDiCaL / CryptoMiniSat class) slot in behind the
+// same interface: implement the search contract, register a kind.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "sat/counter.h"
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace ct::sat {
+
+enum class BackendKind : std::uint8_t { kCdcl = 0, kCount = 1, kUnitProp = 2 };
+inline constexpr std::size_t kNumBackendKinds = 3;
+
+const char* to_string(BackendKind kind);
+
+/// Outcome of a search-free presolve that fully decided the CNF.
+/// When solution_class > 0, `values` assigns every CNF variable either
+/// a forced value or kUndef (free): the model set is exactly "forced
+/// values fixed, free variables arbitrary", so classification, counts
+/// (2^free_vars), enumeration, and potential-true splits all follow
+/// without touching a solver.  When solution_class == 0 the CNF is
+/// UNSAT and `values` is empty.
+struct Presolve {
+  int solution_class = 0;  // 0 / 1 / 2 (2 = two or more)
+  std::vector<LBool> values;
+  std::int32_t free_vars = 0;
+};
+
+/// One loaded CNF behind one solving strategy.  The search contract
+/// (solve / model access / guarded clauses / retract / stats) mirrors
+/// what SolverSession needs from the CDCL solver; presolve() and
+/// exact_count() are optional fast paths a backend may implement
+/// instead of (or in addition to) search.
+class SolverBackend {
+ public:
+  virtual ~SolverBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+  const char* name() const { return to_string(kind()); }
+
+  /// (Re)loads a CNF, dropping all state of the previous one.
+  virtual void load(const Cnf& cnf) = 0;
+
+  /// False for presolve-only backends: the session must escalate when
+  /// presolve() cannot decide the CNF instead of calling search ops.
+  virtual bool supports_search() const { return true; }
+
+  /// Attempts to decide the loaded CNF without search; nullopt means
+  /// the backend needs search (or, if !supports_search(), escalation).
+  virtual std::optional<Presolve> presolve() { return std::nullopt; }
+
+  /// Exact model count over all CNF variables (saturated at
+  /// kCountCap), when the backend can produce one without enumerating
+  /// blocking clauses.  nullopt on backends without a counting path.
+  virtual std::optional<std::uint64_t> exact_count() { return std::nullopt; }
+
+  // --- search contract; defaults throw std::logic_error -------------
+  virtual SolveResult solve(std::span<const Lit> assumptions);
+  virtual Var new_var();
+  virtual LBool model_value(Var v) const;
+  virtual bool add_clause(std::span<const Lit> lits);
+  virtual bool retract_activation(Var a);
+  virtual const SolverStats& solver_stats() const;
+};
+
+/// The incremental CDCL Solver behind the backend contract (the
+/// default; exactly the pre-backend SolverSession behavior).
+class CdclBackend : public SolverBackend {
+ public:
+  BackendKind kind() const override { return BackendKind::kCdcl; }
+  void load(const Cnf& cnf) override;
+  SolveResult solve(std::span<const Lit> assumptions) override;
+  Var new_var() override;
+  LBool model_value(Var v) const override;
+  bool add_clause(std::span<const Lit> lits) override;
+  bool retract_activation(Var a) override;
+  const SolverStats& solver_stats() const override;
+
+ private:
+  std::unique_ptr<Solver> solver_;  // rebuilt per load; Solver is not movable
+};
+
+/// CDCL for model queries + ModelCounter for exact counts: capped
+/// counting and classification skip blocking-clause enumeration
+/// entirely (the Figure-4 workload).  The count is computed lazily on
+/// the first exact_count() call and cached until the next load().
+class CountingBackend final : public CdclBackend {
+ public:
+  BackendKind kind() const override { return BackendKind::kCount; }
+  void load(const Cnf& cnf) override;
+  std::optional<std::uint64_t> exact_count() override;
+
+ private:
+  Cnf cnf_;  // retained for the counter
+  ModelCounter counter_;
+  std::optional<std::uint64_t> count_;
+};
+
+/// Presolve-only unit-propagation fast path.  load() propagates units
+/// to fixpoint; if that conflicts (UNSAT) or satisfies every clause
+/// (model set = forced values x free variables), presolve() returns
+/// the decided outcome, else nullopt — the session escalates to the
+/// plan's fallback backend.  Search ops are never called (the base
+/// class throws).
+class UnitPropBackend final : public SolverBackend {
+ public:
+  BackendKind kind() const override { return BackendKind::kUnitProp; }
+  bool supports_search() const override { return false; }
+  void load(const Cnf& cnf) override;
+  std::optional<Presolve> presolve() override { return outcome_; }
+
+ private:
+  std::optional<Presolve> outcome_;
+};
+
+std::unique_ptr<SolverBackend> make_backend(BackendKind kind);
+
+/// Size/shape features the selector keys on (one cheap pass).
+struct FormulaShape {
+  std::int32_t num_vars = 0;
+  std::int64_t num_clauses = 0;
+  std::int64_t num_units = 0;  // single-literal clauses
+
+  double density() const {  // clauses per variable
+    return num_vars == 0 ? 0.0
+                         : static_cast<double>(num_clauses) / static_cast<double>(num_vars);
+  }
+  double unit_fraction() const {
+    return num_clauses == 0 ? 0.0
+                            : static_cast<double>(num_units) / static_cast<double>(num_clauses);
+  }
+};
+
+FormulaShape shape_of(const Cnf& cnf);
+
+/// What the caller is about to ask of the session (the knobs of
+/// tomo::AnalysisOptions that change which backend pays off).
+struct BackendWorkload {
+  std::uint64_t count_cap = 2;  // 0 = unbounded exact count
+  bool resolve_counts = false;
+};
+
+/// Primary backend plus the escalation target used when the primary's
+/// presolve cannot decide the CNF (only UnitPropBackend escalates).
+struct BackendPlan {
+  BackendKind primary = BackendKind::kCdcl;
+  BackendKind fallback = BackendKind::kCdcl;
+};
+
+/// Per-CNF backend selection policy.  Mode kAuto picks by formula
+/// shape and workload; the forced modes pin every CNF to one backend
+/// (verdicts are byte-identical either way — forcing is for tests,
+/// benchmarks, and CT_SAT_BACKEND).
+struct BackendSelector {
+  enum class Mode : std::uint8_t { kAuto = 0, kCdcl, kCount, kUnitProp };
+
+  Mode mode = Mode::kAuto;
+  /// Auto tries the unit-prop fast path when at least this fraction of
+  /// clauses are units (tomography CNFs are dominated by negative
+  /// units, which is what makes propagation decisive)...
+  double unitprop_min_unit_fraction = 0.5;
+  /// ...or when the formula is this small (a failed presolve on a tiny
+  /// CNF costs next to nothing).
+  std::int32_t unitprop_max_vars = 16;
+  /// Auto prefers the counting backend only when the requested count
+  /// bound exceeds this (or is 0 = unbounded): one exact DPLL count
+  /// always pays the full model count, while incremental enumeration
+  /// stops at the cap — so shallow caps (Figure 4's 6) enumerate and
+  /// deep/unbounded counts go to the counter.
+  std::uint64_t count_min_cap = 16;
+  /// ...and only below this clause density — DPLL counting explodes on
+  /// dense formulas where enumeration-to-cap stays cheap.
+  double count_max_density = 2.0;
+
+  BackendPlan plan(const FormulaShape& shape, const BackendWorkload& workload) const;
+
+  static std::optional<Mode> parse(std::string_view name);
+  static const char* to_string(Mode mode);
+  /// Selector with `mode` forced by the CT_SAT_BACKEND environment
+  /// variable ({auto, cdcl, count, unitprop}) when set and valid;
+  /// default (auto) otherwise.
+  static BackendSelector from_env();
+};
+
+/// Per-backend session counters (indexed by BackendKind).
+struct BackendCounters {
+  std::uint64_t selected = 0;   // chosen as a plan's primary at load()
+  std::uint64_t served = 0;     // CNFs whose queries this backend answered
+  std::uint64_t escalated = 0;  // presolve gave up; the fallback took over
+
+  bool operator==(const BackendCounters&) const = default;
+};
+
+}  // namespace ct::sat

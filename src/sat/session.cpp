@@ -14,12 +14,34 @@ std::vector<Var> all_vars(std::int32_t n) {
   return vars;
 }
 
+std::size_t idx(BackendKind kind) { return static_cast<std::size_t>(kind); }
+
 }  // namespace
 
-void SolverSession::load(const Cnf& cnf) {
-  solver_ = std::make_unique<Solver>();
-  solver_->add_cnf(cnf);  // a false return leaves the solver inconsistent,
-                          // which every query below handles via kUnsat
+void SolverSession::load(const Cnf& cnf) { load(cnf, BackendPlan{}); }
+
+void SolverSession::load(const Cnf& cnf, const BackendPlan& plan) {
+  reset_cnf_state(cnf);
+  ++stats_.backends[idx(plan.primary)].selected;
+  backend_ = fetch_backend(plan.primary);
+  backend_->load(cnf);
+  presolve_ = backend_->presolve();
+  if (!presolve_ && !backend_->supports_search()) {
+    // The primary could not decide the CNF and cannot search: escalate
+    // to the plan's fallback (guarded against presolve-only fallbacks).
+    ++stats_.backends[idx(plan.primary)].escalated;
+    BackendKind fallback = plan.fallback;
+    if (!fetch_backend(fallback)->supports_search()) fallback = BackendKind::kCdcl;
+    backend_ = fetch_backend(fallback);
+    backend_->load(cnf);
+    ++stats_.backends[idx(fallback)].served;
+  } else {
+    ++stats_.backends[idx(plan.primary)].served;
+  }
+  if (presolve_) base_sat_ = presolve_->solution_class > 0 ? 1 : 0;
+}
+
+void SolverSession::reset_cnf_state(const Cnf& cnf) {
   cnf_vars_ = cnf.num_vars;
   projection_.clear();
   full_projection_ = true;
@@ -27,12 +49,19 @@ void SolverSession::load(const Cnf& cnf) {
   models_.clear();
   exhausted_ = false;
   base_sat_ = -1;
+  presolve_.reset();
   ++stats_.cnf_loads;
+}
+
+SolverBackend* SolverSession::fetch_backend(BackendKind kind) {
+  auto& slot = backends_[idx(kind)];
+  if (!slot) slot = make_backend(kind);
+  return slot.get();
 }
 
 SolveResult SolverSession::solve(std::span<const Lit> assumptions) {
   ++stats_.solve_calls;
-  return solver_->solve(assumptions);
+  return backend_->solve(assumptions);
 }
 
 bool SolverSession::satisfiable() {
@@ -51,7 +80,11 @@ bool SolverSession::satisfiable() {
 void SolverSession::set_projection(const std::vector<Var>& projection) {
   const std::vector<Var> wanted =
       projection.empty() ? all_vars(cnf_vars_) : projection;
-  if (wanted == projection_ && (activation_ != kUndefVar || models_.empty())) {
+  // Cached models stay valid while their blocking clauses are active
+  // (activation_), the enumeration finished (exhausted_), or they came
+  // from a presolve outcome (which nothing can invalidate).
+  if (wanted == projection_ &&
+      (presolve_ || activation_ != kUndefVar || exhausted_ || models_.empty())) {
     return;  // enumeration state already matches
   }
   retract_enumeration();
@@ -59,9 +92,66 @@ void SolverSession::set_projection(const std::vector<Var>& projection) {
   full_projection_ = projection.empty();
 }
 
+std::uint64_t SolverSession::presolve_projected_count() const {
+  const Presolve& p = *presolve_;
+  if (p.solution_class == 0) return 0;
+  std::uint64_t free_in_projection = 0;
+  for (const Var v : projection_) {
+    free_in_projection += p.values[static_cast<std::size_t>(v)] == LBool::kUndef ? 1 : 0;
+  }
+  return free_in_projection >= 62 ? kCountCap : (1ULL << free_in_projection);
+}
+
+void SolverSession::materialize_models(std::uint64_t want) {
+  const Presolve& p = *presolve_;
+  if (p.solution_class == 0) {
+    exhausted_ = true;
+    base_sat_ = 0;
+    return;
+  }
+  base_sat_ = 1;
+  // Free variables within the projection, in projection order; model i
+  // assigns them the bits of i (distinct by construction, so this is a
+  // complete deterministic enumeration with no solver involved).
+  std::vector<std::size_t> free_positions;
+  for (std::size_t i = 0; i < projection_.size(); ++i) {
+    if (p.values[static_cast<std::size_t>(projection_[i])] == LBool::kUndef) {
+      free_positions.push_back(i);
+    }
+  }
+  const std::uint64_t total =
+      free_positions.size() >= 62 ? kCountCap : (1ULL << free_positions.size());
+  while (models_.size() < want && models_.size() < total) {
+    const std::uint64_t index = models_.size();
+    std::vector<Lit> model;
+    model.reserve(projection_.size());
+    std::size_t next_free = 0;
+    for (const Var v : projection_) {
+      const LBool forced = p.values[static_cast<std::size_t>(v)];
+      bool value;
+      if (forced == LBool::kUndef) {
+        // index < total <= 2^62, so free positions beyond bit 61 are
+        // always 0 — and shifting by them would be UB.
+        value = next_free < 62 && ((index >> next_free) & 1ULL) != 0;
+        ++next_free;
+      } else {
+        value = forced == LBool::kTrue;
+      }
+      model.emplace_back(v, !value);
+    }
+    models_.push_back(std::move(model));
+    ++stats_.models_found;
+  }
+  if (models_.size() >= total) exhausted_ = true;
+}
+
 void SolverSession::ensure_models(std::uint64_t want) {
+  if (presolve_) {
+    materialize_models(want);
+    return;
+  }
   while (!exhausted_ && models_.size() < want) {
-    if (activation_ == kUndefVar) activation_ = solver_->new_var();
+    if (activation_ == kUndefVar) activation_ = backend_->new_var();
     const Lit guard(activation_, /*negated=*/false);
     const std::array<Lit, 1> guard_assumption{guard};
     if (solve(guard_assumption) != SolveResult::kSat) {
@@ -75,14 +165,14 @@ void SolverSession::ensure_models(std::uint64_t want) {
     block.reserve(projection_.size() + 1);
     block.push_back(~guard);
     for (const Var v : projection_) {
-      const Lit l(v, solver_->model_value(v) != LBool::kTrue);
+      const Lit l(v, backend_->model_value(v) != LBool::kTrue);
       model.push_back(l);
       block.push_back(~l);
     }
     models_.push_back(std::move(model));
     ++stats_.models_found;
     ++stats_.blocking_clauses;
-    if (!solver_->add_clause(block)) {
+    if (!backend_->add_clause(block)) {
       exhausted_ = true;  // blocking clause revealed level-0 UNSAT
       break;
     }
@@ -114,8 +204,22 @@ EnumerateResult SolverSession::enumerate(const EnumerateOptions& options) {
 std::uint64_t SolverSession::count_models_capped(std::uint64_t cap,
                                                 const std::vector<Var>& projection) {
   set_projection(projection);
+  if (presolve_) {
+    const std::uint64_t total = presolve_projected_count();
+    return cap == 0 ? total : std::min<std::uint64_t>(total, cap);
+  }
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t want = cap == 0 ? kMax : cap;
+  if (full_projection_ && !exhausted_ && models_.size() < want) {
+    // A counting backend answers without enumerating (and without
+    // disturbing any blocking-clause state a prior enumerate() left).
+    if (const auto exact = backend_->exact_count()) {
+      base_sat_ = *exact > 0 ? 1 : 0;
+      return cap == 0 ? *exact : std::min<std::uint64_t>(*exact, cap);
+    }
+  }
   if (cap == 0) {  // 0 = no cap, as in EnumerateOptions::max_models
-    ensure_models(std::numeric_limits<std::uint64_t>::max());
+    ensure_models(kMax);
     return models_.size();
   }
   ensure_models(cap);
@@ -124,8 +228,41 @@ std::uint64_t SolverSession::count_models_capped(std::uint64_t cap,
 
 SolutionClassification SolverSession::classify(const std::vector<Var>& projection) {
   set_projection(projection);
-  ensure_models(2);
   SolutionClassification out;
+  if (presolve_) {
+    const std::uint64_t total = presolve_projected_count();
+    out.solution_class = static_cast<int>(std::min<std::uint64_t>(total, 2));
+    if (out.solution_class == 1) {
+      ensure_models(1);
+      out.unique_model = models_.front();
+    }
+    return out;
+  }
+  if (full_projection_ && models_.empty() && !exhausted_) {
+    if (const auto exact = backend_->exact_count()) {
+      out.solution_class = static_cast<int>(std::min<std::uint64_t>(*exact, 2));
+      base_sat_ = *exact > 0 ? 1 : 0;
+      if (*exact == 0) {
+        exhausted_ = true;
+      } else if (*exact == 1) {
+        // One solve extracts the unique model; the count proves there
+        // is nothing to block, so the enumeration is already complete.
+        if (solve({}) == SolveResult::kSat) {
+          std::vector<Lit> model;
+          model.reserve(projection_.size());
+          for (const Var v : projection_) {
+            model.emplace_back(v, backend_->model_value(v) != LBool::kTrue);
+          }
+          models_.push_back(std::move(model));
+          ++stats_.models_found;
+          exhausted_ = true;
+          out.unique_model = models_.front();
+        }
+      }
+      return out;
+    }
+  }
+  ensure_models(2);
   out.solution_class = static_cast<int>(std::min<std::size_t>(models_.size(), 2));
   if (out.solution_class == 1) out.unique_model = models_.front();
   return out;
@@ -135,6 +272,24 @@ PotentialTrueResult SolverSession::potential_true_vars(const std::vector<Var>& v
   PotentialTrueResult out;
   const std::vector<Var> targets = vars.empty() ? all_vars(cnf_vars_) : vars;
 
+  if (presolve_) {
+    const Presolve& p = *presolve_;
+    if (p.solution_class == 0) {
+      base_sat_ = 0;
+      return out;
+    }
+    out.satisfiable = true;
+    // A variable is True in some model iff it is forced True or free.
+    for (const Var v : targets) {
+      if (p.values[static_cast<std::size_t>(v)] == LBool::kFalse) {
+        out.always_false.push_back(v);
+      } else {
+        out.potential_true.push_back(v);
+      }
+    }
+    return out;
+  }
+
   if (base_sat_ == 0 || (exhausted_ && models_.empty())) {
     base_sat_ = 0;
     return out;
@@ -143,7 +298,7 @@ PotentialTrueResult SolverSession::potential_true_vars(const std::vector<Var>& v
   std::vector<std::uint8_t> known_true(static_cast<std::size_t>(cnf_vars_), 0);
   const auto harvest = [&] {
     for (std::int32_t v = 0; v < cnf_vars_; ++v) {
-      if (solver_->model_value(v) == LBool::kTrue) {
+      if (backend_->model_value(v) == LBool::kTrue) {
         known_true[static_cast<std::size_t>(v)] = 1;
       }
     }
@@ -191,7 +346,7 @@ PotentialTrueResult SolverSession::potential_true_vars(const std::vector<Var>& v
 
 void SolverSession::retract_enumeration() {
   if (activation_ != kUndefVar) {
-    solver_->retract_activation(activation_);
+    backend_->retract_activation(activation_);
     activation_ = kUndefVar;
     ++stats_.retractions;
   }

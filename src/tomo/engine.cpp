@@ -13,7 +13,15 @@ CnfVerdict CnfAnalyzer::analyze(const TomoCnf& tc, const AnalysisOptions& option
   verdict.key = tc.key;
   verdict.num_vars = tc.vars.size();
 
-  session_.load(tc.cnf);  // the one load this verdict is allowed
+  // The one load this verdict is allowed; the selector routes the CNF
+  // to a backend by its shape and the query workload ahead.  Counts are
+  // only ever read when count_cap > 2 (below, and count_cap = 0 keeps
+  // the historical "always 0" result) — the workload must say so, or
+  // the selector would pick a counting backend for a count nobody asks
+  // for (count_cap = 0 means *unbounded* at the session/selector level).
+  const sat::BackendWorkload workload{options.count_cap,
+                                      options.resolve_counts && options.count_cap > 2};
+  session_.load(tc.cnf, options.backend.plan(sat::shape_of(tc.cnf), workload));
 
   // Class first: at most two models enumerated.  Counts beyond 2 are
   // resolved lazily — class-0/1 CNFs already have their exact count, and
@@ -66,6 +74,11 @@ void accumulate(EngineStats* stats, const sat::SessionStats& s) {
   stats->cnf_loads += s.cnf_loads;
   stats->solve_calls += s.solve_calls;
   stats->models_found += s.models_found;
+  for (std::size_t k = 0; k < sat::kNumBackendKinds; ++k) {
+    stats->backends[k].selected += s.backends[k].selected;
+    stats->backends[k].served += s.backends[k].served;
+    stats->backends[k].escalated += s.backends[k].escalated;
+  }
   ++stats->arenas;
 }
 

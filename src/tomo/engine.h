@@ -12,7 +12,10 @@
 // Architecture note (session + batching model): every verdict is
 // computed on a sat::SolverSession that loads the CNF exactly once and
 // serves classification, lazy capped counting, and backbone probes from
-// the same incremental solver.  A CnfAnalyzer is the per-worker "session
+// the same solver backend — chosen per CNF by AnalysisOptions::backend
+// (CDCL, exact-count, or the unit-prop presolve fast path; see
+// sat/backend.h).  Backend choice never changes a verdict, only how it
+// is computed.  A CnfAnalyzer is the per-worker "session
 // arena": it owns one session and reuses it across CNFs via load(), so
 // its cumulative SessionStats expose the one-load-per-verdict invariant.
 // analyze_cnfs schedules a batch across a util::ThreadPool (work
@@ -22,6 +25,7 @@
 // threads spawned.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -30,6 +34,7 @@
 #include <vector>
 
 #include "censor/policy.h"
+#include "sat/backend.h"
 #include "sat/session.h"
 #include "tomo/cnf_builder.h"
 #include "util/bounded_queue.h"
@@ -50,6 +55,13 @@ struct AnalysisOptions {
   /// (exact old behavior), 0 = hardware concurrency.  Verdicts are
   /// independent of this value.
   unsigned num_threads = 1;
+  /// Per-CNF SAT backend selection (README "Solver backends"): auto
+  /// picks CDCL / exact-count / unit-prop by formula shape and the
+  /// count_cap/resolve_counts workload; forced modes pin one backend
+  /// (CT_SAT_BACKEND via sat::BackendSelector::from_env).  Verdicts are
+  /// byte-identical for every mode — the backend equivalence suite
+  /// enforces it.
+  sat::BackendSelector backend;
 };
 
 struct CnfVerdict {
@@ -68,6 +80,8 @@ struct CnfVerdict {
   std::vector<topo::AsId> definite_noncensors;
   /// solution_class == 2: |definite_noncensors| / num_vars.
   double reduction_fraction = 0.0;
+
+  bool operator==(const CnfVerdict&) const = default;
 };
 
 /// Aggregate counters for a batch analysis (summed over all arenas).
@@ -76,6 +90,10 @@ struct EngineStats {
   std::uint64_t solve_calls = 0;
   std::uint64_t models_found = 0;
   unsigned arenas = 0;  // worker sessions used
+  /// Per-backend selected/served/escalated counts, indexed by
+  /// sat::BackendKind; sum of `selected` (and of `served`) equals
+  /// cnf_loads.
+  std::array<sat::BackendCounters, sat::kNumBackendKinds> backends{};
 };
 
 /// Per-worker session arena: one reusable SolverSession, loaded once per

@@ -21,6 +21,7 @@
 #include "analysis/experiment.h"
 #include "analysis/platform_sinks.h"
 #include "analysis/scenario.h"
+#include "bgp/route_cache.h"
 #include "expect_churn.h"
 #include "sat/dimacs.h"
 #include "shard_env.h"
@@ -190,6 +191,82 @@ TEST(ShardEquivalence, RunExperimentBitIdenticalAcrossShardCounts) {
       EXPECT_EQ(sharded.score_all.false_positives, serial.score_all.false_positives);
     }
   }
+}
+
+TEST(ShardEquivalence, RouteCacheSharesEpochTablesAcrossVantageShards) {
+  Scenario scenario(shard_scenario(20170623));
+  PlatformSinks serial(scenario);
+  scenario.platform().run(serial.fanout);
+
+  const auto num_days = scenario.platform().config().num_days;
+  const auto epochs_per_day = scenario.platform().config().epochs_per_day;
+  const auto num_vp = static_cast<std::int32_t>(scenario.platform().vantages().size());
+
+  // Three vantage columns over the full day range: every epoch's
+  // RouteTableSet is wanted by all three shards and must be computed
+  // exactly once.
+  const auto ranges = iclab::plan_shard_grid(num_days, num_vp, 1, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+
+  bgp::EpochRouteCache cache;
+  iclab::expect_shard_epochs(cache, ranges, epochs_per_day);
+
+  std::vector<std::unique_ptr<PlatformSinks>> shards;
+  std::vector<iclab::MeasurementSink*> targets;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    shards.push_back(std::make_unique<PlatformSinks>(scenario));
+    targets.push_back(&shards.back()->fanout);
+  }
+  scenario.platform().run_shards(ranges, targets, /*num_threads=*/3, &cache);
+
+  // Cache accounting: one lookup per shard per epoch, one compute per
+  // epoch, everything evicted once the planned users took their copy.
+  const auto total_epochs =
+      static_cast<std::uint64_t>(num_days) * static_cast<std::uint64_t>(epochs_per_day);
+  EXPECT_EQ(cache.lookups(), 3u * total_epochs);
+  EXPECT_EQ(cache.hits(), 2u * total_epochs)
+      << "vantage-split shards must share, not recompute, epoch tables";
+  EXPECT_EQ(cache.live_entries(), 0u);
+
+  // And sharing must not move a single bit of the output streams.
+  PlatformSinks merged(scenario);
+  for (auto& shard : shards) merged.merge(std::move(*shard));
+  merged.clause_builder.canonicalize();
+  EXPECT_EQ(merged.clause_builder.clauses(), serial.clause_builder.clauses());
+  EXPECT_EQ(merged.clause_builder.seqs(), serial.clause_builder.seqs());
+  expect_pools_equal(merged.clause_builder.pool(), serial.clause_builder.pool());
+  EXPECT_EQ(merged.summary.measurements(), serial.summary.measurements());
+  expect_churn_equal(merged.churn_tracker.compute(), serial.churn_tracker.compute());
+}
+
+TEST(ShardEquivalence, RouteCacheSharesDayBoundaryPrimingViews) {
+  Scenario scenario(shard_scenario(20170623));
+  const auto num_days = scenario.platform().config().num_days;
+  const auto epochs_per_day = scenario.platform().config().epochs_per_day;
+  const auto num_vp = static_cast<std::int32_t>(scenario.platform().vantages().size());
+
+  // Pure day split: each epoch is computed by exactly one shard, but a
+  // mid-year shard's flutter-priming epoch is the previous shard's last
+  // epoch — those two uses share one entry.
+  const auto ranges = iclab::plan_shard_grid(num_days, num_vp, 3, 1);
+  ASSERT_EQ(ranges.size(), 3u);
+
+  bgp::EpochRouteCache cache;
+  iclab::expect_shard_epochs(cache, ranges, epochs_per_day);
+
+  std::vector<std::unique_ptr<PlatformSinks>> shards;
+  std::vector<iclab::MeasurementSink*> targets;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    shards.push_back(std::make_unique<PlatformSinks>(scenario));
+    targets.push_back(&shards.back()->fanout);
+  }
+  scenario.platform().run_shards(ranges, targets, /*num_threads=*/3, &cache);
+
+  const auto total_epochs =
+      static_cast<std::uint64_t>(num_days) * static_cast<std::uint64_t>(epochs_per_day);
+  EXPECT_EQ(cache.lookups(), total_epochs + 2u);  // + two priming lookups
+  EXPECT_EQ(cache.hits(), 2u) << "each boundary view is computed once, shared once";
+  EXPECT_EQ(cache.live_entries(), 0u);
 }
 
 TEST(ShardEquivalence, CanonicalizeIsIdempotentAndSerialNoOp) {

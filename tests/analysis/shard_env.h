@@ -4,7 +4,9 @@
 // identical in every configuration:
 //   * CT_PLATFORM_SHARDS — serial (1, the default) vs sharded platform,
 //   * CT_STREAMING — batch (0, the default) vs streaming pipeline
-//     (README "Streaming ingest").
+//     (README "Streaming ingest"),
+//   * CT_SAT_BACKEND — per-CNF backend selection: auto (the default)
+//     or one forced backend for every CNF (README "Solver backends").
 // Tests that run the full experiment read both knobs from here, so the
 // env contract lives in exactly one place; the equivalence suites
 // (experiment_shard_test.cpp, streaming_equivalence_test.cpp) share
@@ -16,6 +18,7 @@
 
 #include "analysis/experiment.h"
 #include "analysis/scenario.h"
+#include "sat/backend.h"
 #include "util/timewin.h"
 
 namespace ct::analysis::test {
@@ -30,10 +33,11 @@ inline bool streaming_from_env() {
   return env != nullptr && std::strtoul(env, nullptr, 10) != 0;
 }
 
-/// Applies both env knobs to an options struct.
+/// Applies the env knobs to an options struct.
 inline void apply_env(ExperimentOptions& options) {
   options.num_platform_shards = shards_from_env();
   options.streaming = streaming_from_env();
+  options.analysis.backend = sat::BackendSelector::from_env();
 }
 
 /// The equivalence suites' scenario: small, but long enough (3 weeks)

@@ -1,0 +1,92 @@
+// EpochRouteCache contract tests: share-once semantics, planned
+// eviction, and the unplanned-get "compute and drop immediately" rule.
+#include "bgp/route_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "topo/generator.h"
+
+namespace ct::bgp {
+namespace {
+
+struct CacheWorld {
+  topo::AsGraph graph;
+  RouteComputer computer;
+  std::vector<bool> up;
+  std::int64_t computes = 0;
+
+  CacheWorld()
+      : graph([] {
+          topo::TopologyConfig cfg;
+          cfg.num_ases = 30;
+          cfg.num_tier1 = 3;
+          cfg.num_transit = 8;
+          cfg.num_countries = 4;
+          return topo::generate_topology(cfg, 7);
+        }()),
+        computer(graph),
+        up(static_cast<std::size_t>(graph.num_links()), true) {}
+
+  EpochRouteCache::Compute compute_fn() {
+    return [this] {
+      ++computes;
+      return RouteTableSet(computer, {0, 1}, up);
+    };
+  }
+};
+
+TEST(EpochRouteCache, PlannedUsersShareOneCompute) {
+  CacheWorld world;
+  EpochRouteCache cache;
+  cache.expect(5, 3);
+
+  const auto first = cache.get(5, world.compute_fn());
+  const auto second = cache.get(5, world.compute_fn());
+  const auto third = cache.get(5, world.compute_fn());
+  EXPECT_EQ(world.computes, 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(second.get(), third.get());
+  EXPECT_EQ(cache.lookups(), 3u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.live_entries(), 0u) << "evicted with the last planned user";
+}
+
+TEST(EpochRouteCache, UnplannedGetComputesAndDropsImmediately) {
+  CacheWorld world;
+  EpochRouteCache cache;
+
+  // No plan at all: every get recomputes, nothing is pinned.
+  (void)cache.get(9, world.compute_fn());
+  (void)cache.get(9, world.compute_fn());
+  EXPECT_EQ(world.computes, 2);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.live_entries(), 0u);
+
+  // A get() after the planned users drained must not resurrect the
+  // original expect count and pin the entry for users that never come.
+  cache.expect(9, 2);
+  (void)cache.get(9, world.compute_fn());
+  (void)cache.get(9, world.compute_fn());
+  EXPECT_EQ(cache.live_entries(), 0u);
+  (void)cache.get(9, world.compute_fn());  // past the plan
+  EXPECT_EQ(cache.live_entries(), 0u) << "stale plan re-pinned the entry";
+  EXPECT_EQ(world.computes, 4);  // 2 unplanned + 1 planned + 1 past-plan
+}
+
+TEST(EpochRouteCache, EntriesLingerOnlyUntilPlannedUsersArrive) {
+  CacheWorld world;
+  EpochRouteCache cache;
+  cache.expect(3, 2);
+
+  const auto tables = cache.get(3, world.compute_fn());
+  EXPECT_EQ(cache.live_entries(), 1u) << "one planned user still outstanding";
+  (void)cache.get(3, world.compute_fn());
+  EXPECT_EQ(cache.live_entries(), 0u);
+  EXPECT_EQ(world.computes, 1);
+  EXPECT_EQ(tables->size(), 2u);  // the shared tables stay valid after eviction
+}
+
+}  // namespace
+}  // namespace ct::bgp

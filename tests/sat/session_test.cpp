@@ -251,6 +251,74 @@ TEST(SolverSession, TruncationFlagHonest) {
   EXPECT_FALSE(session.enumerate({.max_models = 100}).truncated);
 }
 
+TEST(SolverSession, ProjectionChangeMidEnumerationThenCount) {
+  // (x0 v x1 v x2): 7 full models, 2 projected onto {x0}.  Changing the
+  // projection in the middle of a truncated enumeration must retract
+  // the active blocking clauses, and the counts on either side of the
+  // change must stay exact.
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.add_clause({pos(0), pos(1), pos(2)});
+  SolverSession session(cnf);
+
+  const EnumerateResult partial = session.enumerate({.max_models = 3});
+  EXPECT_EQ(partial.models.size(), 3u);
+  EXPECT_TRUE(partial.truncated);
+  const std::uint64_t retractions_before = session.stats().retractions;
+  const std::uint64_t models_before = session.stats().models_found;
+
+  // Projection change mid-enumeration: one retraction, fresh projected
+  // enumeration, exact count.
+  EXPECT_EQ(session.count_models_capped(100, {0}), 2u);
+  EXPECT_EQ(session.stats().retractions, retractions_before + 1);
+
+  // Back to the full projection: another retraction, and the count is
+  // re-derived from scratch without the stale truncated state.
+  EXPECT_EQ(session.count_models_capped(0), 7u);
+  EXPECT_EQ(session.stats().retractions, retractions_before + 2);
+  EXPECT_EQ(session.count_models_capped(2), 2u) << "shrunken caps stay exact";
+
+  // SessionStats invariants: one load served everything, every found
+  // model carried a blocking clause, and the projected + re-derived
+  // models were all counted.
+  EXPECT_EQ(session.stats().cnf_loads, 1u);
+  EXPECT_EQ(session.stats().blocking_clauses, session.stats().models_found);
+  EXPECT_EQ(session.stats().models_found, models_before + 2u + 7u);
+}
+
+TEST(SolverSession, RetractEnumerationAfterUnsat) {
+  // x0 & ~x0: classification creates the activation guard, finds
+  // UNSAT, and a retraction afterwards must leave the session able to
+  // re-derive the same answer on a fresh enumeration.
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.add_clause({pos(0)});
+  cnf.add_clause({neg(0)});
+  SolverSession session(cnf);
+
+  EXPECT_EQ(session.classify().solution_class, 0);
+  EXPECT_EQ(session.stats().models_found, 0u);
+
+  session.retract_enumeration();
+  EXPECT_EQ(session.stats().retractions, 1u);
+
+  const std::uint64_t solves_before = session.stats().solve_calls;
+  EXPECT_EQ(session.count_models_capped(5), 0u);
+  EXPECT_GT(session.stats().solve_calls, solves_before)
+      << "the retracted enumeration must restart, not reuse stale state";
+  EXPECT_EQ(session.classify().solution_class, 0);
+  EXPECT_FALSE(session.satisfiable());
+  EXPECT_FALSE(session.potential_true_vars().satisfiable);
+
+  // Invariants: single load, nothing ever counted as a model, and a
+  // second retraction of the re-created guard still accounts.
+  session.retract_enumeration();
+  EXPECT_EQ(session.stats().retractions, 2u);
+  EXPECT_EQ(session.stats().cnf_loads, 1u);
+  EXPECT_EQ(session.stats().models_found, 0u);
+  EXPECT_EQ(session.stats().blocking_clauses, 0u);
+}
+
 TEST(SolverSession, UnsatCnf) {
   Cnf cnf;
   cnf.num_vars = 2;

@@ -137,10 +137,15 @@ TEST(EngineParallel, LazyCountsOnlyDifferInCappedCount) {
 
 TEST(EngineParallel, LazyCountsDoLessSolving) {
   const std::vector<TomoCnf> cnfs = random_batch(97, 30);
+  // Pin the CDCL backend: the lazy-vs-eager effort comparison is only
+  // meaningful with the backend held constant (auto would route the
+  // eager pass to the counting backend, which enumerates nothing).
   AnalysisOptions eager;
   eager.resolve_counts = true;
+  eager.backend.mode = sat::BackendSelector::Mode::kCdcl;
   AnalysisOptions lazy;
   lazy.resolve_counts = false;
+  lazy.backend.mode = sat::BackendSelector::Mode::kCdcl;
   EngineStats full_stats;
   EngineStats lazy_stats;
   analyze_cnfs(cnfs, eager, &full_stats);
