@@ -348,6 +348,52 @@ BENCHMARK(BM_StreamingPipeline)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
 
+// Memory trajectory of the streaming pipeline on the full
+// default-scenario year (README "Any-time results & memory model").
+// Arg = 1 is the O(open windows) configuration (clauses retired behind
+// the watermark, folds consume every verdict); Arg = 0 retains the full
+// stream (the legacy sink contract).  The headline counter is
+// peak_retained_clauses — the instrumented high-water mark — next to
+// total_clauses: in retire mode the ratio must stay flat as scenarios
+// grow longer, in retain mode it is 1 by construction.  Wall time is
+// reported too so the retire hooks' cost stays visible.
+void BM_StreamingMemory(benchmark::State& state) {
+  static analysis::Scenario* scenario =
+      new analysis::Scenario(analysis::default_scenario());
+  const bool retire = state.range(0) != 0;
+  analysis::StreamingMemoryStats memory;
+  std::int64_t verdicts_seen = 0;
+  for (auto _ : state) {
+    analysis::StreamingOptions options;
+    options.num_platform_shards = 1;  // serial ingest: the O(open windows) bound
+    options.analysis.resolve_counts = false;
+    options.analysis.num_threads = 0;
+    options.retain_clauses = !retire;
+    options.retain_results = false;
+    verdicts_seen = 0;
+    options.on_verdict = [&verdicts_seen](const tomo::TomoCnf&, const tomo::CnfVerdict&) {
+      ++verdicts_seen;
+    };
+    const analysis::StreamingResult r = analysis::run_streaming_pipeline(*scenario, options);
+    memory = r.memory;
+    benchmark::DoNotOptimize(memory.peak_retained_clauses);
+  }
+  state.counters["peak_retained_clauses"] =
+      static_cast<double>(memory.peak_retained_clauses);
+  state.counters["total_clauses"] = static_cast<double>(memory.total_clauses);
+  state.counters["peak_fraction"] =
+      memory.total_clauses == 0
+          ? 0.0
+          : static_cast<double>(memory.peak_retained_clauses) /
+                static_cast<double>(memory.total_clauses);
+  state.counters["verdicts"] = static_cast<double>(verdicts_seen);
+}
+BENCHMARK(BM_StreamingMemory)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
 void BM_ClauseBuild(benchmark::State& state) {
   const net::TracerouteEngine engine(bench_plan(), {});
   util::Rng rng(19);

@@ -1,14 +1,12 @@
 #include "analysis/churn_stats.h"
 
-#include <algorithm>
-#include <set>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "util/rng.h"
 
 namespace ct::analysis {
-
-namespace {
 
 std::uint64_t path_signature(const std::vector<topo::AsId>& path) {
   if (path.empty()) return 0;
@@ -19,83 +17,92 @@ std::uint64_t path_signature(const std::vector<topo::AsId>& path) {
   return h == 0 ? 1 : h;  // reserve 0 for "no path"
 }
 
-}  // namespace
-
-PathChurnTracker::PathChurnTracker(const topo::AsGraph& graph,
-                                   std::vector<topo::AsId> vantages,
-                                   std::vector<topo::AsId> dests, util::Day num_days,
-                                   std::int32_t epochs_per_day)
-    : graph_(graph),
+ChurnFold::ChurnFold(const topo::AsGraph& graph, std::vector<topo::AsId> vantages,
+                     std::vector<topo::AsId> dests, util::Day num_days,
+                     std::int32_t epochs_per_day)
+    : graph_(&graph),
       vantages_(std::move(vantages)),
       dests_(std::move(dests)),
       num_days_(num_days),
       epochs_per_day_(epochs_per_day) {
-  for (std::size_t i = 0; i < vantages_.size(); ++i) vantage_index_[vantages_[i]] = i;
-  for (std::size_t i = 0; i < dests_.size(); ++i) dest_index_[dests_[i]] = i;
-  signatures_.assign(vantages_.size() * dests_.size(), {});
+  run_distinct_.resize(num_pairs());
 }
 
-void PathChurnTracker::on_path(util::Day day, std::int32_t epoch, topo::AsId vantage,
-                               topo::AsId dest, const std::vector<topo::AsId>& path) {
-  const auto vi = vantage_index_.find(vantage);
-  const auto di = dest_index_.find(dest);
-  if (vi == vantage_index_.end() || di == dest_index_.end()) return;
-  if (day < 0 || day >= num_days_ || epoch < 0 || epoch >= epochs_per_day_) return;
-  const auto slot = static_cast<std::size_t>(day) * static_cast<std::size_t>(epochs_per_day_) +
-                    static_cast<std::size_t>(epoch);
-  auto& row = signatures_[pair_index(vi->second, di->second)];
-  if (row.empty()) {
-    row.assign(static_cast<std::size_t>(num_days_) *
-                   static_cast<std::size_t>(epochs_per_day_),
-               0);
+void ChurnFold::observe(std::size_t pair, util::Day day, std::uint64_t signature) {
+  if (day < retired_before_) {
+    throw std::logic_error("ChurnFold::observe: day " + std::to_string(day) +
+                           " arrived after watermark " + std::to_string(retired_before_) +
+                           " (window already sealed)");
   }
-  row[slot] = path_signature(path);
+  for (std::size_t gi = 0; gi < util::kAllGranularities.size(); ++gi) {
+    const std::int32_t window = util::window_of(day, util::kAllGranularities[gi]);
+    grans_[gi].open[{window, static_cast<std::uint32_t>(pair)}].insert(signature);
+  }
+  run_distinct_[pair].insert(signature);
 }
 
-void PathChurnTracker::merge(PathChurnTracker&& other) {
-  if (vantages_ != other.vantages_ || dests_ != other.dests_ ||
-      num_days_ != other.num_days_ || epochs_per_day_ != other.epochs_per_day_) {
-    throw std::invalid_argument("PathChurnTracker::merge: geometry mismatch");
+void ChurnFold::retire_before(util::Day complete_before) {
+  if (complete_before <= retired_before_) return;  // monotone
+  retired_before_ = complete_before;
+  for (std::size_t gi = 0; gi < util::kAllGranularities.size(); ++gi) {
+    const util::Day len = util::window_length(util::kAllGranularities[gi]);
+    GranState& gran = grans_[gi];
+    auto it = gran.open.begin();
+    while (it != gran.open.end() &&
+           util::window_start(it->first.first, util::kAllGranularities[gi]) + len <=
+               complete_before) {
+      const auto distinct = static_cast<std::int64_t>(it->second.size());
+      gran.counts.add(distinct);
+      ++gran.samples;
+      gran.changed += distinct >= 2 ? 1 : 0;
+      it = gran.open.erase(it);
+    }
   }
-  for (std::size_t p = 0; p < signatures_.size(); ++p) {
-    auto& mine = signatures_[p];
-    auto& theirs = other.signatures_[p];
-    if (theirs.empty()) continue;
+}
+
+void ChurnFold::merge(ChurnFold&& other) {
+  if (!same_geometry(other)) {
+    throw std::invalid_argument("ChurnFold::merge: geometry mismatch");
+  }
+  if (retired_before_ != 0 || other.retired_before_ != 0) {
+    throw std::logic_error(
+        "ChurnFold::merge: sealed folds cannot merge (a window sealed on one "
+        "side may still be open on the other)");
+  }
+  for (std::size_t gi = 0; gi < util::kAllGranularities.size(); ++gi) {
+    for (auto& [key, sigs] : other.grans_[gi].open) {
+      auto& mine = grans_[gi].open[key];
+      if (mine.empty()) {
+        mine = std::move(sigs);
+      } else {
+        mine.insert(sigs.begin(), sigs.end());
+      }
+    }
+  }
+  for (std::size_t p = 0; p < run_distinct_.size(); ++p) {
+    auto& mine = run_distinct_[p];
+    auto& theirs = other.run_distinct_[p];
     if (mine.empty()) {
       mine = std::move(theirs);
-      continue;
-    }
-    for (std::size_t t = 0; t < mine.size(); ++t) {
-      if (mine[t] == 0) mine[t] = theirs[t];
+    } else {
+      mine.insert(theirs.begin(), theirs.end());
     }
   }
 }
 
-ChurnStats PathChurnTracker::compute() const {
+ChurnStats ChurnFold::snapshot() const {
   ChurnStats stats;
-  const std::size_t epochs_total =
-      static_cast<std::size_t>(num_days_) * static_cast<std::size_t>(epochs_per_day_);
-
-  for (const util::Granularity g : util::kAllGranularities) {
-    util::BucketedCounts counts(4);  // buckets 0..4 + "5+"; 0 never used
-    std::int64_t samples = 0;
-    std::int64_t changed = 0;
-    const std::size_t window_epochs = static_cast<std::size_t>(util::window_length(g)) *
-                                      static_cast<std::size_t>(epochs_per_day_);
-
-    for (const auto& sigs : signatures_) {
-      if (sigs.empty()) continue;  // pair never observed
-      for (std::size_t start = 0; start < epochs_total; start += window_epochs) {
-        const std::size_t end = std::min(start + window_epochs, epochs_total);
-        std::set<std::uint64_t> distinct;
-        for (std::size_t t = start; t < end; ++t) {
-          if (sigs[t] != 0) distinct.insert(sigs[t]);
-        }
-        if (distinct.empty()) continue;  // pair unobserved in this window
-        counts.add(static_cast<std::int64_t>(distinct.size()));
-        ++samples;
-        changed += distinct.size() >= 2 ? 1 : 0;
-      }
+  for (std::size_t gi = 0; gi < util::kAllGranularities.size(); ++gi) {
+    const util::Granularity g = util::kAllGranularities[gi];
+    const GranState& gran = grans_[gi];
+    util::BucketedCounts counts = gran.counts;
+    std::int64_t samples = gran.samples;
+    std::int64_t changed = gran.changed;
+    for (const auto& [key, sigs] : gran.open) {
+      const auto distinct = static_cast<std::int64_t>(sigs.size());
+      counts.add(distinct);
+      ++samples;
+      changed += distinct >= 2 ? 1 : 0;
     }
     stats.changed_fraction[g] =
         samples == 0 ? 0.0 : static_cast<double>(changed) / static_cast<double>(samples);
@@ -106,13 +113,9 @@ ChurnStats PathChurnTracker::compute() const {
   std::map<topo::AsClass, std::pair<std::int64_t, std::int64_t>> by_class;  // (changed, total)
   for (std::size_t vi = 0; vi < vantages_.size(); ++vi) {
     for (std::size_t di = 0; di < dests_.size(); ++di) {
-      const auto& sigs = signatures_[pair_index(vi, di)];
-      std::set<std::uint64_t> distinct;
-      for (const std::uint64_t s : sigs) {
-        if (s != 0) distinct.insert(s);
-      }
+      const auto& distinct = run_distinct_[pair_index(vi, di)];
       if (distinct.empty()) continue;
-      auto& [chg, tot] = by_class[graph_.as_info(dests_[di]).cls];
+      auto& [chg, tot] = by_class[graph_->as_info(dests_[di]).cls];
       ++tot;
       chg += distinct.size() >= 2 ? 1 : 0;
     }
@@ -126,16 +129,56 @@ ChurnStats PathChurnTracker::compute() const {
   return stats;
 }
 
+std::size_t ChurnFold::open_window_entries() const {
+  std::size_t n = 0;
+  for (const GranState& gran : grans_) n += gran.open.size();
+  return n;
+}
+
+PathChurnTracker::PathChurnTracker(const topo::AsGraph& graph,
+                                   std::vector<topo::AsId> vantages,
+                                   std::vector<topo::AsId> dests, util::Day num_days,
+                                   std::int32_t epochs_per_day)
+    : fold_(graph, std::move(vantages), std::move(dests), num_days, epochs_per_day) {
+  for (std::size_t i = 0; i < fold_.vantages().size(); ++i) {
+    vantage_index_[fold_.vantages()[i]] = i;
+  }
+  for (std::size_t i = 0; i < fold_.dests().size(); ++i) dest_index_[fold_.dests()[i]] = i;
+}
+
+void PathChurnTracker::on_path(util::Day day, std::int32_t epoch, topo::AsId vantage,
+                               topo::AsId dest, const std::vector<topo::AsId>& path) {
+  const auto vi = vantage_index_.find(vantage);
+  const auto di = dest_index_.find(dest);
+  if (vi == vantage_index_.end() || di == dest_index_.end()) return;
+  if (day < 0 || day >= fold_.num_days() || epoch < 0 || epoch >= fold_.epochs_per_day()) {
+    return;
+  }
+  const std::uint64_t sig = path_signature(path);
+  if (sig == 0) return;  // unreachable: never a distinct path
+  fold_.observe(fold_.pair_index(vi->second, di->second), day, sig);
+}
+
+void PathChurnTracker::merge(PathChurnTracker&& other) {
+  if (!fold_.same_geometry(other.fold_)) {
+    throw std::invalid_argument("PathChurnTracker::merge: geometry mismatch");
+  }
+  fold_.merge(std::move(other.fold_));
+}
+
+void PathChurnTracker::adopt(ChurnFold&& fold) {
+  if (!fold_.same_geometry(fold)) {
+    throw std::invalid_argument("PathChurnTracker::adopt: geometry mismatch");
+  }
+  fold_ = std::move(fold);
+}
+
 std::int64_t PathChurnTracker::distinct_paths_of_pair(topo::AsId vantage,
                                                       topo::AsId dest) const {
   const auto vi = vantage_index_.find(vantage);
   const auto di = dest_index_.find(dest);
   if (vi == vantage_index_.end() || di == dest_index_.end()) return 0;
-  std::set<std::uint64_t> distinct;
-  for (const std::uint64_t s : signatures_[pair_index(vi->second, di->second)]) {
-    if (s != 0) distinct.insert(s);
-  }
-  return static_cast<std::int64_t>(distinct.size());
+  return fold_.distinct_of_pair(fold_.pair_index(vi->second, di->second));
 }
 
 }  // namespace ct::analysis

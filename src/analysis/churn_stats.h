@@ -6,10 +6,21 @@
 // granularity, the distribution of the number of distinct paths a pair
 // exhibits inside one window — the paper's Figure 3 — plus the
 // churn-by-destination-class breakdown (the paper's null result).
+//
+// The tracker is an *incremental fold* (ChurnFold): observations land
+// in per-(pair, window) distinct-signature sets, and retire_before()
+// reduces every window the watermark has sealed into fixed-size
+// accumulators (histogram / sample / changed counters) and drops its
+// raw sets — so a streaming run retains O(pairs x open windows), not
+// O(pairs x epochs of the whole run).  snapshot()/compute() are valid
+// at any point and equal the batch computation over exactly the
+// observations folded so far, sealed or not.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "iclab/platform.h"
@@ -29,6 +40,96 @@ struct ChurnStats {
   std::map<topo::AsClass, double> changed_by_dest_class;
 };
 
+/// Collision-resistant signature of an AS path; 0 is reserved for
+/// "no path" (unreachable) and never returned for a non-empty path.
+std::uint64_t path_signature(const std::vector<topo::AsId>& path);
+
+/// The incremental Figure-3 fold.  Observations are (pair, day,
+/// signature) triples; windows at all four granularities accumulate
+/// per-window distinct-signature sets, and retire_before() seals every
+/// window ending at or before the watermark into scalar accumulators
+/// (dropping the sets).  All statistics are sums and set unions, so the
+/// result is independent of observation order and of where the seal
+/// points fall — snapshot() after any retire_before() interleaving
+/// equals the batch fold of the same observations.
+class ChurnFold {
+ public:
+  ChurnFold(const topo::AsGraph& graph, std::vector<topo::AsId> vantages,
+            std::vector<topo::AsId> dests, util::Day num_days,
+            std::int32_t epochs_per_day);
+
+  std::size_t num_pairs() const { return vantages_.size() * dests_.size(); }
+  std::size_t pair_index(std::size_t vi, std::size_t di) const {
+    return vi * dests_.size() + di;
+  }
+
+  /// Records one non-empty-path signature for `pair` on `day`.  Throws
+  /// std::logic_error if the day's windows were already sealed.
+  void observe(std::size_t pair, util::Day day, std::uint64_t signature);
+
+  /// Seals every window ending at or before `complete_before` into the
+  /// fixed-size accumulators and frees its raw signature sets.  Only a
+  /// fold that sees the *whole* observation stream (a serial tracker, or
+  /// the streaming coordinator's global fold) may seal mid-run: sealed
+  /// folds cannot merge (a shard-local fold must stay unsealed so
+  /// merge() can union windows that straddle shard boundaries).
+  void retire_before(util::Day complete_before);
+  util::Day retired_before() const { return retired_before_; }
+
+  /// Folds `other` into this fold (set unions + accumulator sums).
+  /// Associative and commutative; throws std::invalid_argument on
+  /// geometry mismatch and std::logic_error if either side has sealed
+  /// windows.
+  void merge(ChurnFold&& other);
+
+  /// The Figure-3 statistics over everything observed so far (sealed
+  /// accumulators plus still-open windows).
+  ChurnStats snapshot() const;
+
+  /// Distinct signatures seen for one pair over the whole run so far.
+  std::int64_t distinct_of_pair(std::size_t pair) const {
+    return static_cast<std::int64_t>(run_distinct_[pair].size());
+  }
+
+  bool same_geometry(const ChurnFold& other) const {
+    return vantages_ == other.vantages_ && dests_ == other.dests_ &&
+           num_days_ == other.num_days_ && epochs_per_day_ == other.epochs_per_day_;
+  }
+
+  const std::vector<topo::AsId>& vantages() const { return vantages_; }
+  const std::vector<topo::AsId>& dests() const { return dests_; }
+  util::Day num_days() const { return num_days_; }
+  std::int32_t epochs_per_day() const { return epochs_per_day_; }
+
+  /// Unsealed (pair, window) entries across all granularities — the
+  /// fold's only run-length-sensitive state, O(pairs x open windows)
+  /// once retire_before() tracks the watermark.
+  std::size_t open_window_entries() const;
+
+ private:
+  /// Sealed scalar accumulators + unsealed window sets, per granularity.
+  struct GranState {
+    util::BucketedCounts counts{4};  // buckets 0..4 + "5+"; 0 never used
+    std::int64_t samples = 0;
+    std::int64_t changed = 0;
+    /// Distinct signatures of still-open windows, keyed (window, pair)
+    /// so retire_before() seals an ordered map *prefix*.
+    std::map<std::pair<std::int32_t, std::uint32_t>, std::set<std::uint64_t>> open;
+  };
+
+  const topo::AsGraph* graph_;
+  std::vector<topo::AsId> vantages_;
+  std::vector<topo::AsId> dests_;
+  util::Day num_days_ = 0;
+  std::int32_t epochs_per_day_ = 0;
+  std::array<GranState, util::kAllGranularities.size()> grans_;
+  /// Per-pair distinct signatures over the whole run (the Figure-3
+  /// destination-class breakdown and distinct_paths_of_pair); bounded
+  /// by the pair's distinct paths, not by run length.
+  std::vector<std::set<std::uint64_t>> run_distinct_;
+  util::Day retired_before_ = 0;
+};
+
 class PathChurnTracker : public iclab::MeasurementSink {
  public:
   PathChurnTracker(const topo::AsGraph& graph, std::vector<topo::AsId> vantages,
@@ -40,35 +141,35 @@ class PathChurnTracker : public iclab::MeasurementSink {
                const std::vector<topo::AsId>& path) override;
 
   /// Folds a shard-local tracker into this one.  Both trackers must
-  /// share geometry (vantages, destinations, days, epochs); for every
-  /// (pair, epoch) slot the non-empty recording wins (this tracker's on
-  /// the rare overlap).  Associative and commutative over trackers with
-  /// disjoint (vantage, day) coverage — the platform-shard case — with
-  /// a fresh tracker as identity.
+  /// share geometry (vantages, destinations, days, epochs) and be
+  /// unsealed; per-window signature sets are unioned, so the result is
+  /// associative and commutative, with a fresh tracker as identity.
   void merge(PathChurnTracker&& other);
 
+  /// Streaming retire hook: seals every window ending at or before
+  /// `complete_before` (driven by the platform's day-complete
+  /// watermark) and drops its raw signature sets.  compute() is
+  /// unchanged by sealing; memory drops to O(pairs x open windows).
+  void retire_before(util::Day complete_before) { fold_.retire_before(complete_before); }
+
+  /// Replaces this tracker's fold with `fold` (same geometry) — the
+  /// sharded streaming pipeline folds churn globally behind the
+  /// min-merged watermark and hands the finished fold back to the
+  /// merged sink bundle here.
+  void adopt(ChurnFold&& fold);
+
   /// Computes the Figure-3 statistics from everything recorded so far.
-  ChurnStats compute() const;
+  ChurnStats compute() const { return fold_.snapshot(); }
 
   /// Distinct (non-empty) paths for one pair over the whole run.
   std::int64_t distinct_paths_of_pair(topo::AsId vantage, topo::AsId dest) const;
 
- private:
-  std::size_t pair_index(std::size_t vi, std::size_t di) const {
-    return vi * dests_.size() + di;
-  }
+  const ChurnFold& fold() const { return fold_; }
 
-  const topo::AsGraph& graph_;
-  std::vector<topo::AsId> vantages_;
-  std::vector<topo::AsId> dests_;
+ private:
   std::map<topo::AsId, std::size_t> vantage_index_;
   std::map<topo::AsId, std::size_t> dest_index_;
-  util::Day num_days_;
-  std::int32_t epochs_per_day_;
-  /// signatures_[pair][epoch]; 0 = unreachable / not recorded.  A pair's
-  /// row stays empty (no allocation) until its first on_path — platform
-  /// shards covering a vantage slice only ever touch their own rows.
-  std::vector<std::vector<std::uint64_t>> signatures_;
+  ChurnFold fold_;
 };
 
 }  // namespace ct::analysis

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/live_report.h"
 #include "analysis/platform_sinks.h"
 #include "analysis/streaming_pipeline.h"
 
@@ -13,44 +14,32 @@ namespace ct::analysis {
 
 namespace {
 
-Fig1Data make_fig1(const std::vector<tomo::CnfVerdict>& verdicts,
-                   const std::vector<util::Granularity>& granularities) {
-  Fig1Data fig1;
-  for (const util::Granularity g : granularities) fig1.by_granularity[g];  // fixed order
-  for (const censor::Anomaly a : censor::kAllAnomalies) fig1.by_anomaly[a];
-  for (const auto& v : verdicts) {
-    const auto cls = static_cast<std::size_t>(v.solution_class);
-    ++fig1.overall.count[cls];
-    ++fig1.by_anomaly[v.key.anomaly].count[cls];
-    const auto it = fig1.by_granularity.find(v.key.granularity);
-    if (it != fig1.by_granularity.end()) ++it->second.count[cls];
-  }
-  return fig1;
-}
+/// The incremental folds every data product downstream of the main SAT
+/// pass is derived from.  Batch feeds them from the materialized
+/// verdict vectors (key order); streaming feeds them from the any-time
+/// callbacks (emission order).  Every fold is order-independent (or
+/// key-sorts at finalization), so the two paths are byte-identical by
+/// construction.
+struct ExperimentFolds {
+  explicit ExperimentFolds(const ExperimentOptions& options)
+      : verdicts(options.fig1_granularities), fig4(options.fig1_granularities) {}
 
-Fig2Data make_fig2(const std::vector<tomo::CnfVerdict>& verdicts) {
-  Fig2Data fig2;
-  double sum = 0.0;
-  std::int64_t none = 0;
-  for (const auto& v : verdicts) {
-    if (v.solution_class != 2) continue;
-    ++fig2.multi_solution_cnfs;
-    const double pct = 100.0 * v.reduction_fraction;
-    fig2.reduction_percent.push_back(pct);
-    sum += pct;
-    none += v.definite_noncensors.empty() ? 1 : 0;
-  }
-  if (fig2.multi_solution_cnfs > 0) {
-    fig2.mean_reduction_percent = sum / static_cast<double>(fig2.multi_solution_cnfs);
-    fig2.fraction_no_elimination =
-        static_cast<double>(none) / static_cast<double>(fig2.multi_solution_cnfs);
-  }
-  return fig2;
-}
+  VerdictFold verdicts;
+  tomo::CensorSupport support;
+  tomo::LeakageFold leakage;
+  Fig4Fold fig4;
 
-Fig4Data make_fig4(const tomo::PathPool& pool, const std::vector<tomo::PathClause>& clauses,
-                   const ExperimentOptions& options) {
-  Fig4Data fig4;
+  void add_main(const tomo::TomoCnf& cnf, const tomo::CnfVerdict& verdict) {
+    verdicts.add(verdict);
+    support.add(verdict);
+    leakage.add(cnf, verdict);
+  }
+};
+
+/// Batch Figure 4: strip churn, rebuild, analyze with resolved counts —
+/// the phase-separated form of the streaming pipeline's ablation pass.
+void run_fig4_batch(const tomo::PathPool& pool, const std::vector<tomo::PathClause>& clauses,
+                    const ExperimentOptions& options, Fig4Fold& fig4) {
   const std::vector<tomo::PathClause> stripped = tomo::strip_path_churn(pool, clauses);
   tomo::CnfBuildOptions build;
   build.granularities = options.fig1_granularities;
@@ -61,22 +50,7 @@ Fig4Data make_fig4(const tomo::PathPool& pool, const std::vector<tomo::PathClaus
   analysis.resolve_counts = true;
   analysis.num_threads = options.num_threads;
   const std::vector<tomo::CnfVerdict> verdicts = tomo::analyze_cnfs(cnfs, analysis);
-
-  for (const util::Granularity g : options.fig1_granularities) {
-    fig4.solution_counts.emplace(g, util::BucketedCounts(4));
-  }
-  std::int64_t five_plus = 0;
-  std::int64_t total = 0;
-  for (const auto& v : verdicts) {
-    auto it = fig4.solution_counts.find(v.key.granularity);
-    if (it == fig4.solution_counts.end()) continue;
-    it->second.add(static_cast<std::int64_t>(v.capped_count));
-    ++total;
-    five_plus += v.capped_count >= 5 ? 1 : 0;
-  }
-  fig4.fraction_five_plus =
-      total == 0 ? 0.0 : static_cast<double>(five_plus) / static_cast<double>(total);
-  return fig4;
+  for (const auto& v : verdicts) fig4.add(v);
 }
 
 std::vector<Table2Row> make_table2(const topo::AsGraph& graph,
@@ -178,7 +152,12 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
 
   // --- platform run + CNF construction + main SAT pass ---
   // Batch: run all sinks to completion, then build every CNF, then
-  // analyze the batch.  Streaming: all three overlapped, same results.
+  // analyze the batch, then run the Figure-4 ablation as a second
+  // batch.  Streaming: everything overlapped — the pipeline feeds the
+  // same folds verdict by verdict, retires raw clauses behind the
+  // watermark (O(open windows) memory), and streams the ablation
+  // through its second analyzer pool.  Same results either way: the
+  // folds are shared, and their products are order-independent.
   // Nothing downstream of the main pass reads counts beyond the 0/1/2+
   // class (Figures 1/2, censor identification, leakage), so let the
   // sessions stop enumerating at two models.
@@ -186,32 +165,49 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
   main_analysis.resolve_counts = false;
   main_analysis.num_threads = options.num_threads;
 
+  ExperimentFolds folds(options);
+  ExperimentResult result;
+
   std::unique_ptr<PlatformSinks> sinks;
-  std::vector<tomo::TomoCnf> cnfs;
-  std::vector<tomo::CnfVerdict> verdicts;
-  tomo::EngineStats engine_stats;
+  ChurnStats fig3;
   if (options.streaming) {
     StreamingOptions streaming;
     streaming.num_platform_shards = options.num_platform_shards;
     streaming.analysis = main_analysis;
+    // O(open windows): the folds consume every (CNF, verdict) as it is
+    // released, so nothing asks the pipeline to retain the run.
+    streaming.retain_clauses = false;
+    streaming.retain_results = false;
+    streaming.on_verdict = [&folds](const tomo::TomoCnf& cnf, const tomo::CnfVerdict& v) {
+      folds.add_main(cnf, v);
+    };
+    StreamingOptions::Ablation ablation;
+    ablation.build.granularities = options.fig1_granularities;
+    ablation.analysis = options.analysis;
+    ablation.analysis.resolve_counts = true;
+    ablation.analysis.num_threads = options.num_threads;
+    ablation.on_verdict = [&folds](const tomo::CnfVerdict& v) { folds.fig4.add(v); };
+    streaming.ablation = std::move(ablation);
+
     StreamingResult piped = run_streaming_pipeline(scenario, streaming);
     sinks = std::move(piped.sinks);
-    cnfs = std::move(piped.cnfs);
-    verdicts = std::move(piped.verdicts);
-    engine_stats = piped.engine_stats;
+    result.engine_stats = piped.engine_stats;
+    fig3 = std::move(piped.final_report.churn);
   } else {
     sinks = run_platform(scenario, options.num_platform_shards);
-    cnfs = tomo::build_cnfs(sinks->clause_builder.pool(), sinks->clause_builder.clauses());
-    verdicts = tomo::analyze_cnfs(cnfs, main_analysis, &engine_stats);
+    const std::vector<tomo::TomoCnf> cnfs =
+        tomo::build_cnfs(sinks->clause_builder.pool(), sinks->clause_builder.clauses());
+    const std::vector<tomo::CnfVerdict> verdicts =
+        tomo::analyze_cnfs(cnfs, main_analysis, &result.engine_stats);
+    for (std::size_t i = 0; i < cnfs.size(); ++i) folds.add_main(cnfs[i], verdicts[i]);
+    run_fig4_batch(sinks->clause_builder.pool(), sinks->clause_builder.clauses(), options,
+                   folds.fig4);
+    fig3 = sinks->churn_tracker.compute();
   }
 
   const iclab::DatasetSummary& summary = sinks->summary;
   const tomo::ClauseBuilder& clause_builder = sinks->clause_builder;
-  const PathChurnTracker& churn_tracker = sinks->churn_tracker;
   const TruthTracker& truth_tracker = sinks->truth_tracker;
-
-  ExperimentResult result;
-  result.engine_stats = engine_stats;
 
   // --- Table 1 ---
   result.table1.measurements = summary.measurements();
@@ -225,33 +221,25 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
   }
   result.table1.clause_stats = clause_builder.stats();
 
-  // --- figures over the main pass's CNFs/verdicts ---
-  const tomo::PathPool& pool = clause_builder.pool();
-  const std::vector<tomo::PathClause>& clauses = clause_builder.clauses();
-  result.total_cnfs = static_cast<std::int64_t>(verdicts.size());
-
-  result.fig1 = make_fig1(verdicts, options.fig1_granularities);
-  result.fig2 = make_fig2(verdicts);
-  result.fig3 = churn_tracker.compute();
-  result.fig4 = make_fig4(pool, clauses, options);
+  // --- figures from the folds ---
+  result.total_cnfs = folds.verdicts.total();
+  result.fig1 = folds.verdicts.fig1();
+  result.fig2 = folds.verdicts.fig2();
+  result.fig3 = std::move(fig3);
+  result.fig4 = folds.fig4.finalize();
 
   // --- censors, leakage ---
-  result.identified_censors = tomo::identified_censors(verdicts, options.min_support);
+  result.identified_censors = folds.support.identified(options.min_support);
   const std::set<topo::AsId> identified(result.identified_censors.begin(),
                                         result.identified_censors.end());
+  const std::map<topo::AsId, std::set<censor::Anomaly>> censor_anomalies =
+      folds.support.anomalies(identified);
   std::set<topo::CountryId> countries;
-  std::map<topo::AsId, std::set<censor::Anomaly>> censor_anomalies;
-  for (const auto& v : verdicts) {
-    if (v.solution_class != 1) continue;
-    for (const topo::AsId as : v.censors) {
-      if (identified.count(as)) censor_anomalies[as].insert(v.key.anomaly);
-    }
-  }
   for (const topo::AsId as : result.identified_censors) {
     countries.insert(graph.as_info(as).country);
   }
   result.censor_countries = static_cast<std::int32_t>(countries.size());
-  result.leakage = tomo::analyze_leakage(graph, cnfs, verdicts, options.min_support);
+  result.leakage = folds.leakage.finalize(graph, result.identified_censors);
 
   result.table2 = make_table2(graph, result.identified_censors, censor_anomalies);
   result.table3 = make_table3(graph, result.leakage);

@@ -1,0 +1,94 @@
+#include "analysis/live_report.h"
+
+#include <algorithm>
+
+namespace ct::analysis {
+
+void LiveCounts::add(const tomo::CnfVerdict& v) {
+  ++cnfs;
+  const auto cls = static_cast<std::size_t>(v.solution_class);
+  ++overall.count[cls];
+  ++by_url[v.key.url_id].count[cls];
+  if (v.solution_class == 1) {
+    for (const topo::AsId as : v.censors) ++exact_censor_cnfs[as];
+  } else if (v.solution_class == 2) {
+    for (const topo::AsId as : v.potential_censors) ++potential_censor_cnfs[as];
+  }
+}
+
+void LiveCounts::fill(LiveReport& report) const {
+  report.cnfs_analyzed = cnfs;
+  report.overall = overall;
+  report.by_url = by_url;
+  report.exact_censor_cnfs = exact_censor_cnfs;
+  report.potential_censor_cnfs = potential_censor_cnfs;
+}
+
+VerdictFold::VerdictFold(std::vector<util::Granularity> fig1_granularities) {
+  for (const util::Granularity g : fig1_granularities) fig1_.by_granularity[g];  // fixed order
+  for (const censor::Anomaly a : censor::kAllAnomalies) fig1_.by_anomaly[a];
+}
+
+void VerdictFold::add(const tomo::CnfVerdict& v) {
+  counts_.add(v);
+  const auto cls = static_cast<std::size_t>(v.solution_class);
+  ++fig1_.by_anomaly[v.key.anomaly].count[cls];
+  const auto it = fig1_.by_granularity.find(v.key.granularity);
+  if (it != fig1_.by_granularity.end()) ++it->second.count[cls];
+
+  if (v.solution_class == 2) {
+    fig2_samples_.emplace_back(v.key, 100.0 * v.reduction_fraction);
+    fig2_no_elimination_ += v.definite_noncensors.empty() ? 1 : 0;
+  }
+}
+
+Fig1Data VerdictFold::fig1() const {
+  Fig1Data fig1 = fig1_;
+  fig1.overall = counts_.overall;
+  return fig1;
+}
+
+Fig2Data VerdictFold::fig2() const {
+  Fig2Data fig2;
+  fig2.multi_solution_cnfs = static_cast<std::int64_t>(fig2_samples_.size());
+  std::vector<std::pair<tomo::CnfKey, double>> samples = fig2_samples_;
+  // CnfKeys are unique per run, so this is a total order — the batch
+  // path's verdict order.
+  std::sort(samples.begin(), samples.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double sum = 0.0;
+  fig2.reduction_percent.reserve(samples.size());
+  for (const auto& [key, pct] : samples) {
+    fig2.reduction_percent.push_back(pct);
+    sum += pct;
+  }
+  if (fig2.multi_solution_cnfs > 0) {
+    fig2.mean_reduction_percent = sum / static_cast<double>(fig2.multi_solution_cnfs);
+    fig2.fraction_no_elimination = static_cast<double>(fig2_no_elimination_) /
+                                   static_cast<double>(fig2.multi_solution_cnfs);
+  }
+  return fig2;
+}
+
+Fig4Fold::Fig4Fold(const std::vector<util::Granularity>& granularities) {
+  for (const util::Granularity g : granularities) {
+    fig4_.solution_counts.emplace(g, util::BucketedCounts(4));
+  }
+}
+
+void Fig4Fold::add(const tomo::CnfVerdict& v) {
+  const auto it = fig4_.solution_counts.find(v.key.granularity);
+  if (it == fig4_.solution_counts.end()) return;
+  it->second.add(static_cast<std::int64_t>(v.capped_count));
+  ++total_;
+  five_plus_ += v.capped_count >= 5 ? 1 : 0;
+}
+
+Fig4Data Fig4Fold::finalize() const {
+  Fig4Data fig4 = fig4_;
+  fig4.fraction_five_plus =
+      total_ == 0 ? 0.0 : static_cast<double>(five_plus_) / static_cast<double>(total_);
+  return fig4;
+}
+
+}  // namespace ct::analysis

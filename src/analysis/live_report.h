@@ -1,0 +1,100 @@
+// Incremental experiment analytics and the any-time results snapshot.
+//
+// The batch pipeline derives the paper's figures from fully
+// materialized verdict vectors; these folds derive the same data
+// products one verdict at a time, so the streaming pipeline can drop
+// each CNF and verdict the moment it is analyzed (O(open windows)
+// memory) and surface a valid LiveReport at every watermark.  Both
+// run_experiment paths — batch and streaming — run on the same folds,
+// so their products cannot diverge: everything a fold accumulates is
+// order-independent (counts and set unions), and the one order-bearing
+// product (Figure 2's per-CNF sample vector) is key-sorted at
+// finalization, which is exactly the batch iteration order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "analysis/churn_stats.h"
+#include "analysis/experiment.h"
+#include "tomo/cnf_builder.h"
+#include "tomo/engine.h"
+
+namespace ct::analysis {
+
+/// Any-time snapshot of a streaming run, valid at a watermark: the
+/// verdict counts cover exactly the CNFs of windows sealed by the
+/// watermark (in emitted-CNF order), and the churn stats cover exactly
+/// the measurement days below it — so every LiveReport equals the batch
+/// computation over its sealed prefix (the property suite holds this).
+struct LiveReport {
+  /// Every window ending at or before this day is included.
+  util::Day watermark = 0;
+  /// CNFs analyzed so far (all granularities).
+  std::int64_t cnfs_analyzed = 0;
+  /// Verdict counts so far: overall and per URL.
+  SolutionSplit overall;
+  std::map<std::int32_t, SolutionSplit> by_url;
+  /// Per-AS verdict counts so far: CNFs exactly naming the AS a censor
+  /// (class 1) / listing it as a potential censor (class 2).
+  std::map<topo::AsId, std::int64_t> exact_censor_cnfs;
+  std::map<topo::AsId, std::int64_t> potential_censor_cnfs;
+  /// Figure-3 churn stats over the sealed days.
+  ChurnStats churn;
+};
+
+/// The LiveReport verdict counts as an incremental fold — the one
+/// implementation behind both the any-time snapshots (the pipeline's
+/// release path) and VerdictFold's figure products, so the two can
+/// never drift.  Fixed-size up to the URL/AS key spaces; retains no
+/// per-CNF state.
+struct LiveCounts {
+  std::int64_t cnfs = 0;
+  SolutionSplit overall;
+  std::map<std::int32_t, SolutionSplit> by_url;
+  std::map<topo::AsId, std::int64_t> exact_censor_cnfs;
+  std::map<topo::AsId, std::int64_t> potential_censor_cnfs;
+
+  void add(const tomo::CnfVerdict& verdict);
+  /// Copies the counts into `report` (watermark/churn are the caller's).
+  void fill(LiveReport& report) const;
+};
+
+/// Incremental fold of the main pass's verdicts into the Figure-1/2
+/// data products (a LiveCounts plus the figure-only tallies).
+class VerdictFold {
+ public:
+  explicit VerdictFold(std::vector<util::Granularity> fig1_granularities);
+
+  void add(const tomo::CnfVerdict& verdict);
+
+  std::int64_t total() const { return counts_.cnfs; }
+  Fig1Data fig1() const;
+  /// Figure 2: reduction samples in CnfKey order (the batch order).
+  Fig2Data fig2() const;
+
+ private:
+  LiveCounts counts_;
+  Fig1Data fig1_;  // overall filled from counts_ at fig1()
+  std::vector<std::pair<tomo::CnfKey, double>> fig2_samples_;
+  std::int64_t fig2_no_elimination_ = 0;
+};
+
+/// Incremental Figure-4 histogram fold over the churn-ablation pass's
+/// verdicts (order-independent: counts only).
+class Fig4Fold {
+ public:
+  explicit Fig4Fold(const std::vector<util::Granularity>& granularities);
+
+  void add(const tomo::CnfVerdict& verdict);
+  Fig4Data finalize() const;
+
+ private:
+  Fig4Data fig4_;
+  std::int64_t five_plus_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace ct::analysis

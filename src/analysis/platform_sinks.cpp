@@ -25,7 +25,7 @@ std::unique_ptr<PlatformSinks> run_platform(Scenario& scenario, unsigned num_sha
   return merge_shard_sinks(std::move(plan.sinks));
 }
 
-ShardPlan plan_shard_sinks(Scenario& scenario, unsigned num_shards) {
+ShardPlan plan_shard_sinks(Scenario& scenario, unsigned num_shards, bool attach_churn) {
   const iclab::Platform& platform = scenario.platform();
   ShardPlan plan;
   plan.ranges = iclab::plan_shards(platform.config().num_days,
@@ -33,7 +33,7 @@ ShardPlan plan_shard_sinks(Scenario& scenario, unsigned num_shards) {
                                    static_cast<std::int32_t>(num_shards));
   plan.sinks.reserve(plan.ranges.size());
   for (std::size_t i = 0; i < plan.ranges.size(); ++i) {
-    plan.sinks.push_back(std::make_unique<PlatformSinks>(scenario));
+    plan.sinks.push_back(std::make_unique<PlatformSinks>(scenario, attach_churn));
   }
   plan.workers = std::min(num_shards, util::ThreadPool::hardware_threads());
   plan.route_cache = std::make_shared<bgp::EpochRouteCache>();

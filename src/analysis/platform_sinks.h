@@ -27,7 +27,12 @@ struct PlatformSinks {
   TruthTracker truth_tracker;
   iclab::SinkFanout fanout;
 
-  explicit PlatformSinks(Scenario& scenario)
+  /// `attach_churn = false` leaves the churn tracker constructed but
+  /// detached from the fanout — the sharded streaming pipeline folds
+  /// churn *globally* behind the min-merged watermark (per-shard
+  /// trackers could not seal windows that straddle shard boundaries)
+  /// and hands the finished fold back via churn_tracker.adopt().
+  explicit PlatformSinks(Scenario& scenario, bool attach_churn = true)
       : summary(scenario.graph()),
         clause_builder(scenario.ip2as()),
         churn_tracker(scenario.graph(), scenario.platform().vantages(),
@@ -37,7 +42,7 @@ struct PlatformSinks {
         truth_tracker(scenario.registry(), scenario.platform()) {
     fanout.add(&summary);
     fanout.add(&clause_builder);
-    fanout.add(&churn_tracker);
+    if (attach_churn) fanout.add(&churn_tracker);
     fanout.add(&truth_tracker);
   }
 
@@ -78,7 +83,9 @@ struct ShardPlan {
 
 /// Plans `num_shards` (vantage, day) shards over the scenario's
 /// schedule and allocates their sink bundles and route cache.
-ShardPlan plan_shard_sinks(Scenario& scenario, unsigned num_shards);
+/// `attach_churn` is forwarded to every bundle (see PlatformSinks).
+ShardPlan plan_shard_sinks(Scenario& scenario, unsigned num_shards,
+                           bool attach_churn = true);
 
 /// Folds shard-local sink bundles (in plan order) into shard_sinks[0],
 /// canonicalizes the merged clause stream, and returns it; consumed

@@ -1,5 +1,6 @@
 // Fully overlapped platform → CNF → SAT execution (README "Streaming
-// ingest").
+// ingest"), with O(open windows) memory and any-time results (README
+// "Any-time results & memory model").
 //
 // The batch pipeline (run_platform + build_cnfs + analyze_cnfs)
 // materializes every PathClause and TomoCnf before the first SAT call.
@@ -10,17 +11,38 @@
 // through a bounded MPMC queue into a tomo::StreamingAnalyzer whose
 // workers solve concurrently with ingest.
 //
-// Determinism contract: the returned sinks are bit-identical to
-// run_platform's, and the returned (cnfs, verdicts) are byte-identical
-// to build_cnfs + analyze_cnfs on those sinks — for every shard count,
-// worker count, and queue capacity (the streaming equivalence suite
-// holds this to the letter).
+// Beyond the overlap, the pipeline runs the post-hoc analyses as
+// incremental folds behind the same watermark:
+//   * churn (Figure 3) seals windows into fixed-size accumulators as
+//     the watermark passes (PathChurnTracker::retire_before on a serial
+//     run; a global ChurnFold fed by the coordinator when sharded),
+//   * the Figure-4 churn ablation streams through a ChurnStripFilter
+//     into a second StreamingCnfBuilder and analyzer pool,
+//   * raw clauses are retired the moment every consumer has seen them
+//     (retain_clauses = false), so the retained-clause count is bounded
+//     by the open windows, not the run length — StreamingMemoryStats
+//     reports the instrumented high-water mark,
+//   * verdicts stream out through `on_verdict` in emitted-CNF order,
+//     and a LiveReport snapshot valid at every watermark flows through
+//     `on_report`.
+//
+// Determinism contract: with retain_clauses, the returned sinks are
+// bit-identical to run_platform's; with retain_results, the returned
+// (cnfs, verdicts) are byte-identical to build_cnfs + analyze_cnfs on
+// those sinks — for every shard count, worker count, and queue
+// capacity (the streaming equivalence suite holds this to the letter).
+// The folds and callbacks see byte-identical data in every mode, and
+// every LiveReport equals the batch computation over its sealed prefix
+// (the streaming live/property suite).
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "analysis/live_report.h"
 #include "analysis/platform_sinks.h"
 #include "analysis/scenario.h"
 #include "tomo/cnf_builder.h"
@@ -40,17 +62,89 @@ struct StreamingOptions {
   /// Capacity of the ingest→analysis queue; a full queue back-pressures
   /// the platform threads instead of buffering unboundedly.
   std::size_t queue_capacity = 256;
+
+  /// Keep the raw clause stream in the returned sinks (the legacy
+  /// contract: sinks bit-identical to run_platform's).  When false,
+  /// every clause is *retired* as soon as the watermark seals it and
+  /// all in-pipeline consumers have taken it: the returned sinks carry
+  /// the full build stats and pool but an empty clause stream, and the
+  /// pipeline's retained-clause high-water mark is bounded by the open
+  /// windows (plus shard watermark skew when sharded), not by the run
+  /// length.
+  bool retain_clauses = true;
+  /// Keep every (CNF, verdict) pair for StreamingResult::cnfs/verdicts.
+  /// Clear it when `on_verdict` (or the folds alone) consume the run —
+  /// the analyzer then retains only the in-flight window.
+  bool retain_results = true;
+
+  /// Any-time verdict stream: called exactly once per analyzed CNF, in
+  /// emitted-CNF (watermark) order, serialized.  Independent of worker
+  /// count and queue interleaving.
+  std::function<void(const tomo::TomoCnf&, const tomo::CnfVerdict&)> on_verdict;
+  /// Any-time snapshots: called once per watermark advance (after every
+  /// CNF of the sealed prefix has been analyzed and released), in
+  /// watermark order, serialized.  Each LiveReport equals the batch
+  /// computation over its sealed prefix.
+  std::function<void(const LiveReport&)> on_report;
+
+  /// Overlapped Figure-4 churn-ablation pass: the sealed clause stream
+  /// runs through a tomo::ChurnStripFilter into a second
+  /// StreamingCnfBuilder and analyzer pool, so the post-hoc ablation
+  /// needs no retained clause stream.
+  struct Ablation {
+    /// Ablation CNF construction (run_experiment passes the Figure-1
+    /// granularities) and analysis (resolve_counts for the histogram).
+    tomo::CnfBuildOptions build;
+    tomo::AnalysisOptions analysis;
+    /// Keep ablation (CNF, verdict) pairs in the result.
+    bool retain_results = false;
+    /// Per-verdict fold hook, serialized, completion order (the
+    /// Figure-4 histogram is order-independent).
+    std::function<void(const tomo::CnfVerdict&)> on_verdict;
+  };
+  std::optional<Ablation> ablation;
+};
+
+/// Instrumented memory accounting of one streaming run (README
+/// "Any-time results & memory model").  "Retained clauses" counts every
+/// PathClause held anywhere in the pipeline — shard builders' unretired
+/// streams plus the coordinator's above-watermark day buffer; the
+/// dedup'd open-window group state is O(open windows) by construction
+/// and is not counted.
+struct StreamingMemoryStats {
+  /// High-water mark of retained clauses.  With retain_clauses = false
+  /// this is bounded by the open windows (serial) or the shard
+  /// watermark skew (sharded); with retain_clauses = true it equals the
+  /// full stream.
+  std::int64_t peak_retained_clauses = 0;
+  /// Retained clauses at end of run (0 in full retire mode).
+  std::int64_t final_retained_clauses = 0;
+  /// Clauses built over the whole run (== ClauseBuildStats::clauses).
+  std::int64_t total_clauses = 0;
 };
 
 struct StreamingResult {
   /// Merged (and, when sharded, canonicalized) platform sinks —
-  /// bit-identical to run_platform's.
+  /// bit-identical to run_platform's when retain_clauses; with
+  /// retirement the clause stream is empty but stats, pool, and the
+  /// (fold-backed) churn tracker still match.
   std::unique_ptr<PlatformSinks> sinks;
   /// Every emitted CNF and its verdict, key-sorted: byte-identical to
-  /// analyze_cnfs(build_cnfs(...)) on the batch path.
+  /// analyze_cnfs(build_cnfs(...)) on the batch path.  Empty when
+  /// retain_results is off.
   std::vector<tomo::TomoCnf> cnfs;
   std::vector<tomo::CnfVerdict> verdicts;
   tomo::EngineStats engine_stats;
+
+  /// Ablation products (only when options.ablation is set).
+  std::vector<tomo::TomoCnf> ablation_cnfs;          // when ablation.retain_results
+  std::vector<tomo::CnfVerdict> ablation_verdicts;
+  tomo::EngineStats ablation_stats;
+
+  /// End-of-run snapshot: full verdict counts and the final Figure-3
+  /// churn stats (the authoritative churn fold of the run).
+  LiveReport final_report;
+  StreamingMemoryStats memory;
 };
 
 /// Runs the platform, window-complete CNF emission, and SAT analysis as

@@ -23,8 +23,11 @@ ClauseBuilder::ClauseBuilder(ClauseBuilder&& other) noexcept
       pool_(std::move(other.pool_)),
       clauses_(std::move(other.clauses_)),
       seqs_(std::move(other.seqs_)),
+      retired_(other.retired_),
       stats_(other.stats_),
+      gauge_(other.gauge_),
       streaming_(std::move(other.streaming_)) {
+  other.gauge_ = nullptr;  // the retained clauses moved with us
   // The grouper borrowed the *source's* pool member; point it at ours.
   if (streaming_ != nullptr) streaming_->rebind_pool(&pool_);
 }
@@ -34,12 +37,31 @@ ClauseBuilder::ClauseBuilder(const ClauseBuilder& other)
       pool_(other.pool_),
       clauses_(other.clauses_),
       seqs_(other.seqs_),
+      retired_(other.retired_),
       stats_(other.stats_),
+      // A copy never inherits the gauge: the original keeps reporting
+      // its retained clauses, and double counting would inflate the
+      // high-water mark.
+      gauge_(nullptr),
       streaming_(other.streaming_ == nullptr
                      ? nullptr
                      : std::make_unique<StreamingCnfBuilder>(*other.streaming_)) {
   // The copied grouper borrowed the *source's* pool; point it at ours.
   if (streaming_ != nullptr) streaming_->rebind_pool(&pool_);
+}
+
+void ClauseBuilder::retire_clauses(std::size_t before) {
+  if (before <= retired_) return;
+  const std::size_t drop = std::min(before - retired_, clauses_.size());
+  clauses_.erase(clauses_.begin(), clauses_.begin() + static_cast<std::ptrdiff_t>(drop));
+  seqs_.erase(seqs_.begin(), seqs_.begin() + static_cast<std::ptrdiff_t>(drop));
+  retired_ += drop;
+  if (gauge_ != nullptr) gauge_->sub(static_cast<std::int64_t>(drop));
+}
+
+void ClauseBuilder::set_retained_gauge(util::HwmGauge* gauge) {
+  gauge_ = gauge;
+  if (gauge_ != nullptr) gauge_->add(static_cast<std::int64_t>(clauses_.size()));
 }
 
 void ClauseBuilder::start_streaming(const CnfBuildOptions& options) {
@@ -98,6 +120,7 @@ void ClauseBuilder::on_measurement(const iclab::Measurement& m) {
     clauses_.push_back(clause);
     seqs_.push_back(m.seq);
     ++stats_.clauses;
+    if (gauge_ != nullptr) gauge_->add(1);
     if (streaming_ != nullptr) streaming_->add(pool_, clause);
   }
 }
@@ -107,6 +130,12 @@ void ClauseBuilder::merge(ClauseBuilder&& other) {
     throw std::logic_error(
         "ClauseBuilder::merge: streaming builders cannot be merged "
         "(use analysis::StreamingPipeline's min-merged watermark path)");
+  }
+  if ((retired_ > 0 && !clauses_.empty()) ||
+      (other.retired_ > 0 && !other.clauses_.empty())) {
+    throw std::logic_error(
+        "ClauseBuilder::merge: a partially retired stream cannot merge "
+        "(the retained suffixes would masquerade as whole streams)");
   }
   stats_ += other.stats_;
   clauses_.reserve(clauses_.size() + other.clauses_.size());
@@ -125,6 +154,11 @@ void ClauseBuilder::canonicalize() {
         "ClauseBuilder::canonicalize: streaming mode borrows the pool and "
         "cannot survive its renumbering (a streaming builder's stream is "
         "already serial — there is nothing to canonicalize)");
+  }
+  if (retired_ > 0 && !clauses_.empty()) {
+    throw std::logic_error(
+        "ClauseBuilder::canonicalize: the stream is partially retired — "
+        "sorting the retained suffix would masquerade as the whole stream");
   }
   std::vector<std::size_t> order(clauses_.size());
   std::iota(order.begin(), order.end(), std::size_t{0});

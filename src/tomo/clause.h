@@ -22,6 +22,7 @@
 #include "censor/policy.h"
 #include "iclab/platform.h"
 #include "net/traceroute.h"
+#include "util/hwm.h"
 #include "util/timewin.h"
 
 namespace ct::tomo {
@@ -144,7 +145,28 @@ class ClauseBuilder : public iclab::MeasurementSink {
   /// of how the stream was sharded or in which order shards merged.
   void canonicalize();
 
+  /// O(open windows) retire hook: drops every clause with absolute
+  /// stream index < `before` from the retained clauses()/seqs() suffix.
+  /// Stats, the pool, and any embedded streaming groups are unaffected —
+  /// only the raw stream goes.  Callers that retire must index the
+  /// stream by absolute position (clause_count() / retired_clauses()),
+  /// and may not canonicalize() a *partially* retired stream (merging
+  /// and canonicalizing a fully retired stream is fine: it is empty).
+  void retire_clauses(std::size_t before);
+  /// Clauses ever built, including retired ones (absolute stream size).
+  std::size_t clause_count() const { return retired_ + clauses_.size(); }
+  std::size_t retired_clauses() const { return retired_; }
+
+  /// Reports every retained/retired clause transition to `gauge`
+  /// (nullptr detaches).  The streaming pipeline aggregates these into
+  /// its retained-clause high-water mark (README "Any-time results &
+  /// memory model").
+  void set_retained_gauge(util::HwmGauge* gauge);
+
   const PathPool& pool() const { return pool_; }
+  /// The retained clause suffix: absolute indices
+  /// [retired_clauses(), clause_count()).  The whole stream unless
+  /// retire_clauses() was called.
   const std::vector<PathClause>& clauses() const { return clauses_; }
   /// Schedule position of each clause (parallel to clauses(); the
   /// kNumAnomalies clauses of one measurement share a value).
@@ -156,7 +178,9 @@ class ClauseBuilder : public iclab::MeasurementSink {
   PathPool pool_;
   std::vector<PathClause> clauses_;
   std::vector<std::int64_t> seqs_;
+  std::size_t retired_ = 0;
   ClauseBuildStats stats_;
+  util::HwmGauge* gauge_ = nullptr;
   /// Non-null iff streaming mode is on (held by pointer: the complete
   /// type only exists in cnf_builder.h).
   std::unique_ptr<StreamingCnfBuilder> streaming_;

@@ -137,17 +137,21 @@ std::vector<TomoCnf> build_cnfs(const PathPool& pool, const std::vector<PathClau
   return builder.flush();
 }
 
-std::vector<PathClause> strip_path_churn(const PathPool& pool,
-                                         const std::vector<PathClause>& clauses) {
+bool ChurnStripFilter::keep(const PathPool& pool, const PathClause& clause) {
+  if (pool.get(clause.path_id).empty()) return false;
+  const auto key = std::make_pair(clause.vantage, clause.url_id);
   // First path observed per (vantage, URL); clause order is the
   // platform's emission order, i.e. chronological within a URL.
-  std::map<std::pair<topo::AsId, std::int32_t>, PathPool::PathId> first_path;
+  const auto it = first_path_.emplace(key, clause.path_id).first;
+  return it->second == clause.path_id;
+}
+
+std::vector<PathClause> strip_path_churn(const PathPool& pool,
+                                         const std::vector<PathClause>& clauses) {
+  ChurnStripFilter filter;
   std::vector<PathClause> out;
   for (const PathClause& clause : clauses) {
-    if (pool.get(clause.path_id).empty()) continue;
-    const auto key = std::make_pair(clause.vantage, clause.url_id);
-    const auto it = first_path.emplace(key, clause.path_id).first;
-    if (it->second == clause.path_id) out.push_back(clause);
+    if (filter.keep(pool, clause)) out.push_back(clause);
   }
   return out;
 }

@@ -147,9 +147,27 @@ class StreamingCnfBuilder {
 std::vector<TomoCnf> build_cnfs(const PathPool& pool, const std::vector<PathClause>& clauses,
                                 const CnfBuildOptions& options = {});
 
+/// Streaming form of Figure 4's churn ablation: keeps, per
+/// (vantage, URL), only the clauses whose path equals the first path
+/// observed for that pair — i.e., erases the effect of path churn.
+/// Clauses must arrive in canonical stream order and resolve in one
+/// interned pool (equal id <=> equal path; ids may only be appended, so
+/// the recorded first-path ids stay valid).  Stateful and O(pairs);
+/// both the batch strip_path_churn() and the streaming pipeline's
+/// overlapped Figure-4 pass run on this filter.
+class ChurnStripFilter {
+ public:
+  /// True iff `clause` survives the ablation.  Empty paths never do
+  /// (and never become a pair's first path).
+  bool keep(const PathPool& pool, const PathClause& clause);
+
+ private:
+  std::map<std::pair<topo::AsId, std::int32_t>, PathPool::PathId> first_path_;
+};
+
 /// Figure 4's ablation filter: keeps, per (vantage, URL), only the
 /// clauses whose path equals the first path observed for that pair —
-/// i.e., erases the effect of path churn.
+/// i.e., erases the effect of path churn.  One ChurnStripFilter pass.
 std::vector<PathClause> strip_path_churn(const PathPool& pool,
                                          const std::vector<PathClause>& clauses);
 

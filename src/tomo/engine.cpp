@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <stdexcept>
+#include <utility>
 
 #include "util/thread_pool.h"
 
@@ -111,11 +113,12 @@ std::vector<CnfVerdict> analyze_cnfs(const std::vector<TomoCnf>& cnfs,
   return out;
 }
 
-StreamingAnalyzer::StreamingAnalyzer(util::BoundedQueue<TomoCnf>& queue,
-                                     const AnalysisOptions& options)
-    : queue_(queue), options_(options) {
-  const unsigned threads = options.num_threads == 0 ? util::ThreadPool::hardware_threads()
-                                                    : options.num_threads;
+StreamingAnalyzer::StreamingAnalyzer(util::BoundedQueue<EmittedCnf>& queue,
+                                     StreamingAnalyzerOptions options)
+    : queue_(queue), options_(std::move(options)) {
+  const unsigned threads = options_.analysis.num_threads == 0
+                               ? util::ThreadPool::hardware_threads()
+                               : options_.analysis.num_threads;
   workers_.reserve(threads);
   try {
     for (unsigned w = 0; w < threads; ++w) {
@@ -123,9 +126,9 @@ StreamingAnalyzer::StreamingAnalyzer(util::BoundedQueue<TomoCnf>& queue,
       Worker* worker = workers_.back().get();
       worker->thread = std::thread([this, worker] {
         try {
-          while (std::optional<TomoCnf> tc = queue_.pop()) {
-            CnfVerdict verdict = worker->arena.analyze(*tc, options_);
-            worker->done.emplace_back(std::move(*tc), std::move(verdict));
+          while (std::optional<EmittedCnf> item = queue_.pop()) {
+            CnfVerdict verdict = worker->arena.analyze(item->cnf, options_.analysis);
+            deliver(std::move(*item), std::move(verdict));
           }
         } catch (...) {
           worker->error = std::current_exception();
@@ -146,6 +149,10 @@ StreamingAnalyzer::StreamingAnalyzer(util::BoundedQueue<TomoCnf>& queue,
   }
 }
 
+StreamingAnalyzer::StreamingAnalyzer(util::BoundedQueue<EmittedCnf>& queue,
+                                     const AnalysisOptions& options)
+    : StreamingAnalyzer(queue, StreamingAnalyzerOptions{options, true, nullptr, true}) {}
+
 StreamingAnalyzer::~StreamingAnalyzer() { join_all(); }
 
 void StreamingAnalyzer::join_all() {
@@ -154,21 +161,52 @@ void StreamingAnalyzer::join_all() {
   }
 }
 
+void StreamingAnalyzer::release_locked(const TomoCnf& cnf, const CnfVerdict& verdict,
+                                       std::uint64_t seq) {
+  if (options_.on_verdict) options_.on_verdict(seq, cnf, verdict);
+}
+
+void StreamingAnalyzer::deliver(EmittedCnf&& item, CnfVerdict&& verdict) {
+  std::lock_guard<std::mutex> lock(release_mutex_);
+  if (!options_.on_verdict || !options_.ordered) {
+    // No reorder buffer needed: release (completion order) and retain.
+    release_locked(item.cnf, verdict, item.seq);
+    if (options_.retain_results) {
+      released_.emplace_back(std::move(item.cnf), std::move(verdict));
+    }
+    return;
+  }
+  // Ordered any-time release: buffer until this verdict's emission
+  // predecessors have all been released, then release the contiguous
+  // prefix.  The buffer holds at most the in-flight window (queue
+  // capacity + workers), never the run.
+  pending_.emplace(item.seq, std::make_pair(std::move(item.cnf), std::move(verdict)));
+  while (!pending_.empty() && pending_.begin()->first == next_seq_) {
+    auto node = pending_.extract(pending_.begin());
+    release_locked(node.mapped().first, node.mapped().second, node.key());
+    if (options_.retain_results) released_.push_back(std::move(node.mapped()));
+    ++next_seq_;
+  }
+}
+
 StreamingAnalyzer::Result StreamingAnalyzer::finish() {
   join_all();
   Result result;
-  std::size_t total = 0;
   for (const auto& worker : workers_) {
     if (worker->error) std::rethrow_exception(worker->error);
-    total += worker->done.size();
   }
-  std::vector<std::pair<TomoCnf, CnfVerdict>> pairs;
-  pairs.reserve(total);
   for (auto& worker : workers_) {
-    for (auto& p : worker->done) pairs.push_back(std::move(p));
-    worker->done.clear();
     accumulate(&result.stats, worker->arena.session_stats());
   }
+  // The producers emit a gapless sequence, so after a clean join the
+  // reorder buffer must have drained through release.
+  if (!pending_.empty()) {
+    throw std::logic_error(
+        "StreamingAnalyzer::finish: emission sequence has gaps (producer "
+        "skipped or dropped a seq)");
+  }
+  std::vector<std::pair<TomoCnf, CnfVerdict>> pairs = std::move(released_);
+  released_.clear();
   // Keys are unique per run (one CNF per (URL, anomaly, window)), so
   // this order is total and matches build_cnfs' key-sorted output.
   std::sort(pairs.begin(), pairs.end(),
@@ -182,22 +220,36 @@ StreamingAnalyzer::Result StreamingAnalyzer::finish() {
   return result;
 }
 
-std::vector<topo::AsId> identified_censors(const std::vector<CnfVerdict>& verdicts,
-                                           std::int32_t min_support) {
-  // Support = distinct (URL, anomaly) pairs with a unique-solution CNF
-  // naming the AS.
-  std::map<topo::AsId, std::set<std::pair<std::int32_t, censor::Anomaly>>> support;
-  for (const CnfVerdict& v : verdicts) {
-    if (v.solution_class != 1) continue;
-    for (const topo::AsId as : v.censors) {
-      support[as].emplace(v.key.url_id, v.key.anomaly);
-    }
+void CensorSupport::add(const CnfVerdict& verdict) {
+  if (verdict.solution_class != 1) return;
+  for (const topo::AsId as : verdict.censors) {
+    support_[as].emplace(verdict.key.url_id, verdict.key.anomaly);
   }
+}
+
+std::vector<topo::AsId> CensorSupport::identified(std::int32_t min_support) const {
   std::vector<topo::AsId> out;
-  for (const auto& [as, evidence] : support) {
+  for (const auto& [as, evidence] : support_) {
     if (static_cast<std::int32_t>(evidence.size()) >= min_support) out.push_back(as);
   }
   return out;
+}
+
+std::map<topo::AsId, std::set<censor::Anomaly>> CensorSupport::anomalies(
+    const std::set<topo::AsId>& within) const {
+  std::map<topo::AsId, std::set<censor::Anomaly>> out;
+  for (const auto& [as, evidence] : support_) {
+    if (!within.count(as)) continue;
+    for (const auto& [url, anomaly] : evidence) out[as].insert(anomaly);
+  }
+  return out;
+}
+
+std::vector<topo::AsId> identified_censors(const std::vector<CnfVerdict>& verdicts,
+                                           std::int32_t min_support) {
+  CensorSupport support;
+  for (const CnfVerdict& v : verdicts) support.add(v);
+  return support.identified(min_support);
 }
 
 CensorScore score_censors(const std::vector<topo::AsId>& identified,

@@ -28,7 +28,11 @@
 #include <array>
 #include <cstdint>
 #include <exception>
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -118,6 +122,31 @@ std::vector<CnfVerdict> analyze_cnfs(const std::vector<TomoCnf>& cnfs,
                                      const AnalysisOptions& options = {},
                                      EngineStats* stats = nullptr);
 
+/// A window-complete CNF tagged with its global emission sequence
+/// number (assigned by the producer in emitted-CNF order, 0-based and
+/// gapless).  The sequence drives StreamingAnalyzer's ordered any-time
+/// verdict release; it never influences the verdict itself.
+struct EmittedCnf {
+  std::uint64_t seq = 0;
+  TomoCnf cnf;
+};
+
+struct StreamingAnalyzerOptions {
+  AnalysisOptions analysis;
+  /// Keep every (CNF, verdict) pair for finish().  Clear it when a
+  /// verdict callback consumes the stream and nothing re-reads the
+  /// batch — finish() then returns empty vectors (stats still summed)
+  /// and the analyzer retains O(in-flight) CNFs instead of O(run).
+  bool retain_results = true;
+  /// Any-time verdict stream: called exactly once per analyzed CNF,
+  /// serialized (never concurrently with itself).  With `ordered`, calls
+  /// are released in emission-sequence order — the order the producer
+  /// emitted the CNFs, i.e. watermark order — buffering at most the
+  /// in-flight window; otherwise calls fire in completion order.
+  std::function<void(std::uint64_t seq, const TomoCnf&, const CnfVerdict&)> on_verdict;
+  bool ordered = true;
+};
+
 /// Streamed work intake for the analyzer pool: dedicated worker threads
 /// pop window-complete CNFs from a BoundedQueue *while producers are
 /// still pushing*, each worker reusing one CnfAnalyzer session arena —
@@ -128,18 +157,23 @@ std::vector<CnfVerdict> analyze_cnfs(const std::vector<TomoCnf>& cnfs,
 /// `options` (never on which worker analyzed it or in what order), and
 /// finish() sorts the collected (CNF, verdict) pairs by CnfKey — so the
 /// result is byte-identical to analyze_cnfs() over the same CNFs sorted
-/// by key, for any worker count and any queue interleaving.
+/// by key, for any worker count and any queue interleaving.  The
+/// ordered verdict callback sees the same pairs in emission order,
+/// which is likewise independent of workers and interleaving.
 class StreamingAnalyzer {
  public:
   struct Result {
-    std::vector<TomoCnf> cnfs;         // sorted by key
+    std::vector<TomoCnf> cnfs;         // sorted by key (empty if !retain_results)
     std::vector<CnfVerdict> verdicts;  // verdicts[i] is cnfs[i]'s
     EngineStats stats;                 // summed over worker arenas
   };
 
-  /// Starts options.num_threads workers (0 = hardware concurrency)
-  /// consuming `queue` immediately.  The queue must outlive finish().
-  StreamingAnalyzer(util::BoundedQueue<TomoCnf>& queue, const AnalysisOptions& options);
+  /// Starts options.analysis.num_threads workers (0 = hardware
+  /// concurrency) consuming `queue` immediately.  The queue must
+  /// outlive finish().
+  StreamingAnalyzer(util::BoundedQueue<EmittedCnf>& queue, StreamingAnalyzerOptions options);
+  /// Result-retaining convenience, as before the any-time API.
+  StreamingAnalyzer(util::BoundedQueue<EmittedCnf>& queue, const AnalysisOptions& options);
   /// Joins the workers (the queue must already be closed) if finish()
   /// was never called.
   ~StreamingAnalyzer();
@@ -157,16 +191,49 @@ class StreamingAnalyzer {
  private:
   struct Worker {
     CnfAnalyzer arena;
-    std::vector<std::pair<TomoCnf, CnfVerdict>> done;
     std::exception_ptr error;
     std::thread thread;
   };
 
   void join_all();
+  void deliver(EmittedCnf&& item, CnfVerdict&& verdict);
+  void release_locked(const TomoCnf& cnf, const CnfVerdict& verdict, std::uint64_t seq);
 
-  util::BoundedQueue<TomoCnf>& queue_;
-  AnalysisOptions options_;
+  util::BoundedQueue<EmittedCnf>& queue_;
+  StreamingAnalyzerOptions options_;
   std::vector<std::unique_ptr<Worker>> workers_;
+
+  /// Release state: guards the verdict callback (serialized), the
+  /// ordered reorder buffer, and the retained results.
+  std::mutex release_mutex_;
+  std::uint64_t next_seq_ = 0;  // ordered mode: next emission to release
+  std::map<std::uint64_t, std::pair<TomoCnf, CnfVerdict>> pending_;
+  std::vector<std::pair<TomoCnf, CnfVerdict>> released_;  // retained results
+};
+
+/// Incremental censor-evidence fold: consumes verdicts one at a time
+/// (any order — all state is set unions) and answers the
+/// identified-censor query at any point.  The batch identified_censors()
+/// below runs on this fold, so streaming and batch identification share
+/// one implementation and cannot diverge.
+class CensorSupport {
+ public:
+  /// Folds one verdict; non-class-1 verdicts are no-ops.
+  void add(const CnfVerdict& verdict);
+
+  /// ASes identified by >= min_support distinct (URL, anomaly) pairs,
+  /// sorted ascending.
+  std::vector<topo::AsId> identified(std::int32_t min_support = 1) const;
+
+  /// Anomaly types evidenced per AS (class-1 verdicts only), restricted
+  /// to `within` — the Table-2 anomaly column.
+  std::map<topo::AsId, std::set<censor::Anomaly>> anomalies(
+      const std::set<topo::AsId>& within) const;
+
+ private:
+  /// Support = distinct (URL, anomaly) pairs with a unique-solution CNF
+  /// naming the AS.
+  std::map<topo::AsId, std::set<std::pair<std::int32_t, censor::Anomaly>>> support_;
 };
 
 /// Union of exactly-identified censors across single-solution verdicts,
@@ -177,6 +244,7 @@ class StreamingAnalyzer {
 /// positive corrupts exactly one (URL, anomaly); real censorship covers
 /// whole URL categories, so min_support = 2 filters one-off noise while
 /// keeping true censors (see EXPERIMENTS.md for the precision impact).
+/// Implemented as a CensorSupport fold over `verdicts`.
 std::vector<topo::AsId> identified_censors(const std::vector<CnfVerdict>& verdicts,
                                            std::int32_t min_support = 1);
 

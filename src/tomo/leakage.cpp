@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace ct::tomo {
 
@@ -17,29 +18,33 @@ std::int32_t LeakageReport::censors_leaking_to_countries() const {
   return n;
 }
 
-LeakageReport analyze_leakage(const topo::AsGraph& graph, const std::vector<TomoCnf>& cnfs,
-                              const std::vector<CnfVerdict>& verdicts,
-                              std::int32_t min_support) {
-  if (cnfs.size() != verdicts.size()) {
-    throw std::invalid_argument("analyze_leakage: cnfs/verdicts size mismatch");
-  }
+void LeakageFold::add(const TomoCnf& cnf, const CnfVerdict& verdict) {
+  if (verdict.solution_class != 1 || verdict.censors.empty()) return;
+  Evidence evidence;
+  evidence.censors = verdict.censors;
+  evidence.paths.reserve(cnf.positive_paths.size());
+  for (const auto& path : cnf.positive_paths) evidence.paths.push_back(paths_.intern(path));
+  evidence_.push_back(std::move(evidence));
+}
+
+LeakageReport LeakageFold::finalize(const topo::AsGraph& graph,
+                                    const std::vector<topo::AsId>& supported_censors) const {
   LeakageReport report;
-  report.censors = identified_censors(verdicts, min_support);
-  const std::set<topo::AsId> supported(report.censors.begin(), report.censors.end());
+  report.censors = supported_censors;
+  const std::set<topo::AsId> supported(supported_censors.begin(), supported_censors.end());
 
   // (censor, victim) pairs already attributed, for country_flow dedup.
   std::set<std::pair<topo::AsId, topo::AsId>> counted_pairs;
 
-  for (std::size_t i = 0; i < cnfs.size(); ++i) {
-    const CnfVerdict& verdict = verdicts[i];
-    if (verdict.solution_class != 1 || verdict.censors.empty()) continue;
+  for (const Evidence& evidence : evidence_) {
     std::set<topo::AsId> censors;
-    for (const topo::AsId as : verdict.censors) {
+    for (const topo::AsId as : evidence.censors) {
       if (supported.count(as)) censors.insert(as);
     }
     if (censors.empty()) continue;
 
-    for (const auto& path : cnfs[i].positive_paths) {
+    for (const PathPool::PathId path_id : evidence.paths) {
+      const std::vector<topo::AsId>& path = paths_.get(path_id);
       // First censor along the path (vantage side first).
       std::size_t censor_index = path.size();
       for (std::size_t k = 0; k < path.size(); ++k) {
@@ -72,6 +77,17 @@ LeakageReport analyze_leakage(const topo::AsGraph& graph, const std::vector<Tomo
     }
   }
   return report;
+}
+
+LeakageReport analyze_leakage(const topo::AsGraph& graph, const std::vector<TomoCnf>& cnfs,
+                              const std::vector<CnfVerdict>& verdicts,
+                              std::int32_t min_support) {
+  if (cnfs.size() != verdicts.size()) {
+    throw std::invalid_argument("analyze_leakage: cnfs/verdicts size mismatch");
+  }
+  LeakageFold fold;
+  for (std::size_t i = 0; i < cnfs.size(); ++i) fold.add(cnfs[i], verdicts[i]);
+  return fold.finalize(graph, identified_censors(verdicts, min_support));
 }
 
 }  // namespace ct::tomo

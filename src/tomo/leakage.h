@@ -42,10 +42,44 @@ struct LeakageReport {
   std::int32_t censors_leaking_to_countries() const;
 };
 
+/// Incremental leakage fold: consumes (CNF, verdict) pairs one at a
+/// time and retains only the class-1 *evidence* — the verdict's censor
+/// set plus its anomaly-observed paths, interned in a private pool — so
+/// a streaming run never holds the full CNF/verdict stream for the
+/// post-hoc leakage pass.  finalize() applies the min-support censor
+/// filter (only known once the run ends) and replays the evidence; the
+/// report is a pure function of the evidence *set* (victim sets and
+/// border-crossing pair counts are all unions / exactly-once counts),
+/// so the result is independent of add() order and byte-identical to
+/// the batch pass — analyze_leakage() below runs on this fold.
+class LeakageFold {
+ public:
+  /// Folds one analyzed CNF; non-class-1 verdicts (and verdicts naming
+  /// no censor) are no-ops.
+  void add(const TomoCnf& cnf, const CnfVerdict& verdict);
+
+  /// Builds the report, attributing leaks only to `supported_censors`
+  /// (as returned by identified_censors()).
+  LeakageReport finalize(const topo::AsGraph& graph,
+                         const std::vector<topo::AsId>& supported_censors) const;
+
+  std::size_t evidence_count() const { return evidence_.size(); }
+
+ private:
+  struct Evidence {
+    std::vector<topo::AsId> censors;            // the verdict's exact censors
+    std::vector<PathPool::PathId> paths;        // its positive paths, interned
+  };
+
+  PathPool paths_;
+  std::vector<Evidence> evidence_;
+};
+
 /// Runs the leakage analysis over analyzed CNFs.  `cnfs` and `verdicts`
 /// must be parallel arrays (as produced by build_cnfs + analyze_cnfs).
 /// `min_support` is forwarded to identified_censors(); only supported
-/// censors generate leaks.
+/// censors generate leaks.  Implemented as a LeakageFold over the
+/// arrays, so batch and streaming share one leakage implementation.
 LeakageReport analyze_leakage(const topo::AsGraph& graph, const std::vector<TomoCnf>& cnfs,
                               const std::vector<CnfVerdict>& verdicts,
                               std::int32_t min_support = 1);

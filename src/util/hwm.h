@@ -1,0 +1,40 @@
+// Retire/seal accounting for the streaming window machinery.
+//
+// The O(open windows) memory contract (README "Any-time results &
+// memory model") says the streaming pipeline may retain raw clauses and
+// churn observations only until the watermark seals their window; the
+// holders of that state (tomo::ClauseBuilder, the streaming
+// coordinator's day buffer) report every retain/retire transition to a
+// shared HwmGauge, and the pipeline exposes the gauge's high-water mark
+// so tests and benchmarks can assert the bound instead of trusting it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ct::util {
+
+/// A concurrent gauge with a monotone high-water mark.  add() on
+/// retain, sub() on retire/seal; peak() is the maximum the gauge ever
+/// reached.  All operations are lock-free and safe from any thread.
+class HwmGauge {
+ public:
+  void add(std::int64_t n) {
+    const std::int64_t now = current_.fetch_add(n, std::memory_order_relaxed) + n;
+    std::int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void sub(std::int64_t n) { current_.fetch_sub(n, std::memory_order_relaxed); }
+
+  std::int64_t current() const { return current_.load(std::memory_order_relaxed); }
+  std::int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> current_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+}  // namespace ct::util

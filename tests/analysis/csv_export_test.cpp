@@ -4,6 +4,12 @@
 
 #include <filesystem>
 #include <sstream>
+#include <string>
+#include <utility>
+
+#include "analysis/experiment.h"
+#include "analysis/scenario.h"
+#include "shard_env.h"
 
 namespace ct::analysis {
 namespace {
@@ -92,6 +98,40 @@ TEST(CsvExport, WriteAllCreatesFiles) {
     EXPECT_GT(std::filesystem::file_size(dir / name), 0u) << name;
   }
   std::filesystem::remove_all(dir);
+}
+
+// Streaming-vs-batch round-trip: every CSV series produced from a
+// streaming run — whose results come entirely from the incremental
+// folds, with no retained clause or verdict stream — must be
+// byte-identical to the batch run's.  The figure CSVs are the
+// experiment's machine-readable products, so this is the end-to-end
+// form of the fold equivalence contract.
+TEST(CsvExport, StreamingRunCsvIsByteIdenticalToBatchRun) {
+  Scenario batch_scenario(test::shard_scenario(20170623));
+  ExperimentOptions batch_options;
+  const ExperimentResult batch = run_experiment(batch_scenario, batch_options);
+
+  Scenario streaming_scenario(test::shard_scenario(20170623));
+  ExperimentOptions streaming_options;
+  streaming_options.streaming = true;
+  streaming_options.num_platform_shards = 2;
+  const ExperimentResult streamed = run_experiment(streaming_scenario, streaming_options);
+
+  using Writer = void (*)(std::ostream&, const ExperimentResult&);
+  const std::pair<const char*, Writer> series[] = {
+      {"fig1a", &write_fig1a_csv},   {"fig1b", &write_fig1b_csv},
+      {"fig2", &write_fig2_csv},     {"fig3", &write_fig3_csv},
+      {"fig4", &write_fig4_csv},     {"table2", &write_table2_csv},
+      {"table3", &write_table3_csv}, {"fig5", &write_fig5_csv},
+  };
+  for (const auto& [name, writer] : series) {
+    SCOPED_TRACE(name);
+    std::ostringstream batch_csv, streaming_csv;
+    writer(batch_csv, batch);
+    writer(streaming_csv, streamed);
+    EXPECT_GT(batch_csv.str().size(), 0u);
+    EXPECT_EQ(streaming_csv.str(), batch_csv.str());  // byte-identical
+  }
 }
 
 TEST(CsvExport, QuotingEscapesCommasAndQuotes) {

@@ -10,6 +10,7 @@
 #include <set>
 #include <vector>
 
+#include "../support/fuzz_seed.h"
 #include "sat/backend.h"
 #include "sat/counter.h"
 #include "sat/session.h"
@@ -95,7 +96,9 @@ Cnf random_cnf(util::Rng& rng, std::int32_t num_vars) {
 }
 
 TEST(BackendFuzz, CounterSessionAndUnitPropAgreeOnRandomCnfs) {
-  util::Rng rng(20260730);
+  const std::uint64_t seed = ct::test::fuzz_seed(20260730);
+  SCOPED_TRACE(ct::test::fuzz_trace(seed));
+  util::Rng rng(seed);
   std::int64_t presolve_decided = 0;
   std::int64_t escalated = 0;
 

@@ -1,0 +1,31 @@
+// Shared fuzz-seed plumbing for the randomized suites (README
+// "Testing").
+//
+// Every property/fuzz test derives its randomness from one seed,
+// defaults it deterministically, and announces it via SCOPED_TRACE — so
+// a failure report always carries the line needed to replay it:
+//
+//   CT_FUZZ_SEED=<n> ctest -R <suite> ...
+//
+// fuzz_seed() honors that variable; fuzz_trace() is the announcement.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace ct::test {
+
+/// The suite's seed: CT_FUZZ_SEED if set, else `default_seed`.
+inline std::uint64_t fuzz_seed(std::uint64_t default_seed) {
+  const char* env = std::getenv("CT_FUZZ_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// SCOPED_TRACE message naming the replay command for `seed`.
+inline std::string fuzz_trace(std::uint64_t seed) {
+  return "replay this run with CT_FUZZ_SEED=" + std::to_string(seed);
+}
+
+}  // namespace ct::test

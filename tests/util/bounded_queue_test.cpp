@@ -97,6 +97,101 @@ TEST(BoundedQueue, CapacityBackpressuresProducer) {
   q.close();
 }
 
+// close() racing a blocked pop(): the wakeup-miss hammer.  Consumers
+// issue *single* pop() calls (the risky pattern — a looped consumer
+// re-checks the predicate on every iteration, a single pop gets exactly
+// one chance), producers push a backlog, and close() fires concurrently
+// across capacities.  The drain guarantee makes the outcome exact: with
+// more pops than successfully pushed items, every pushed item is popped
+// exactly once and every surplus pop observes end-of-stream — and every
+// thread terminates (a missed wakeup hangs the join and fails the test
+// by timeout).
+TEST(BoundedQueueStress, CloseRacingBlockedPopNeverLosesAWakeupOrAnItem) {
+  constexpr int kConsumers = 3;
+  for (const std::size_t capacity : {1u, 2u, 7u}) {
+    for (int round = 0; round < 150; ++round) {
+      BoundedQueue<int> q(capacity);
+      const int to_push = round % (kConsumers + 1);  // 0..3 items, <= pops
+
+      std::atomic<int> popped{0};
+      std::atomic<int> end_of_stream{0};
+      std::atomic<int> accepted{0};
+      std::atomic<bool> seen[kConsumers + 1] = {};
+      std::vector<std::thread> consumers;
+      for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&q, &popped, &end_of_stream, &seen] {
+          if (const auto item = q.pop()) {
+            ++popped;
+            // Exactly-once: no two pops may return the same item.
+            EXPECT_FALSE(seen[static_cast<std::size_t>(*item)].exchange(true));
+          } else {
+            ++end_of_stream;
+          }
+        });
+      }
+      std::thread producer([&q, &accepted, to_push] {
+        // The close may land mid-stream; push() refusing after it is the
+        // contract, so count what the queue accepted.
+        for (int i = 0; i < to_push; ++i) {
+          if (q.push(i)) ++accepted;
+        }
+      });
+      std::thread closer([&q, round] {
+        if (round % 3 == 0) std::this_thread::yield();
+        q.close();
+      });
+
+      producer.join();
+      closer.join();
+      for (auto& t : consumers) t.join();
+
+      // Drain guarantee: every item the queue accepted before the close
+      // is popped exactly once; every surplus pop sees end-of-stream.
+      EXPECT_EQ(popped.load(), accepted.load());
+      EXPECT_EQ(end_of_stream.load(), kConsumers - accepted.load());
+    }
+  }
+}
+
+// close() racing blocked *pushes*: whatever number of pushes win the
+// race, the drained backlog matches it exactly — no item is lost after
+// a successful push and none materializes from a refused one.
+TEST(BoundedQueueStress, CloseRacingBlockedPushDrainsExactlyTheAccepted) {
+  for (const std::size_t capacity : {1u, 2u}) {
+    for (int round = 0; round < 150; ++round) {
+      BoundedQueue<int> q(capacity);
+      constexpr int kProducers = 3;
+      std::atomic<int> accepted{0};
+      std::vector<std::thread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, &accepted, p] {
+          // Over-subscribe the capacity so some pushes block, then race
+          // the close.
+          for (int i = 0; i < 2; ++i) {
+            if (q.push(p * 2 + i)) ++accepted;
+          }
+        });
+      }
+      std::thread closer([&q, round] {
+        if (round % 2 == 0) std::this_thread::yield();
+        q.close();
+      });
+      // One consumer drains concurrently, so blocked producers can make
+      // progress until the close lands.
+      std::atomic<int> drained{0};
+      std::thread consumer([&q, &drained] {
+        while (q.pop()) ++drained;
+      });
+
+      for (auto& t : producers) t.join();
+      closer.join();
+      consumer.join();
+      EXPECT_EQ(drained.load(), accepted.load());
+      EXPECT_FALSE(q.pop().has_value());  // stays drained + closed
+    }
+  }
+}
+
 // Multi-producer / multi-consumer stress: every pushed item is popped
 // exactly once, and each producer's items come out in its push order.
 TEST(BoundedQueueStress, MpmcDeliversEachItemOnceInProducerOrder) {
