@@ -249,34 +249,126 @@ BENCHMARK_CAPTURE(BM_BackendMix, count, sat::BackendSelector::Mode::kCount)
 BENCHMARK_CAPTURE(BM_BackendMix, unitprop, sat::BackendSelector::Mode::kUnitProp)
     ->Unit(benchmark::kMillisecond);
 
-std::vector<tomo::TomoCnf> tomo_cnf_batch(std::size_t n) {
-  std::vector<tomo::TomoCnf> cnfs;
-  cnfs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    tomo::TomoCnf tc;
-    tc.key.url_id = static_cast<std::int32_t>(i);
-    tc.cnf = tomo_shaped_cnf(36, 4, 22, 100 + i);
-    for (std::int32_t v = 0; v < tc.cnf.num_vars; ++v) {
-      tc.vars.push_back(static_cast<topo::AsId>(v));
+/// One (URL, anomaly) chain of adjacent window CNFs: a stable dense
+/// core (the backbone constraints a long-lived anomaly keeps inducing
+/// every window) under a churning overlay of wide positive clauses
+/// (the per-window path disjunctions that come and go with the
+/// measurement mix).  This is the delta loader's target regime: each
+/// transition edits a couple of overlay clauses while the core — and
+/// everything the solver learnt about it — survives (README "Delta
+/// loading").  The core density is chosen in the satisfiable-but-hard
+/// band so every window's queries do real search.
+std::vector<sat::Cnf> chain_windows(int vars, int core_clauses, int overlay, int days,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  sat::Cnf cnf;
+  cnf.num_vars = vars;
+  for (int i = 0; i < core_clauses; ++i) {
+    std::vector<sat::Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.emplace_back(static_cast<sat::Var>(rng.index(static_cast<std::size_t>(vars))),
+                          rng.bernoulli(0.5));
     }
-    cnfs.push_back(std::move(tc));
+    cnf.add_clause(std::move(clause));
+  }
+  const auto wide_positive = [&rng, vars] {
+    std::vector<sat::Lit> clause;
+    for (int k = 0; k < 5; ++k) {
+      clause.emplace_back(static_cast<sat::Var>(rng.index(static_cast<std::size_t>(vars))),
+                          false);
+    }
+    return clause;
+  };
+  for (int i = 0; i < overlay; ++i) cnf.add_clause(wide_positive());
+
+  std::vector<sat::Cnf> windows;
+  windows.reserve(static_cast<std::size_t>(days));
+  for (int day = 0; day < days; ++day) {
+    windows.push_back(cnf);
+    for (int churn = 0; churn < 2; ++churn) {
+      const std::size_t at = static_cast<std::size_t>(core_clauses) +
+                             rng.index(static_cast<std::size_t>(overlay));
+      cnf.clauses[at] = wide_positive();
+    }
+  }
+  return windows;
+}
+
+std::vector<tomo::TomoCnf> tomo_chain_batch(std::size_t chains, int windows) {
+  std::vector<tomo::TomoCnf> cnfs;
+  cnfs.reserve(chains * static_cast<std::size_t>(windows));
+  for (std::size_t c = 0; c < chains; ++c) {
+    const std::vector<sat::Cnf> chain = chain_windows(70, 280, 12, windows, 100 + c);
+    for (int w = 0; w < windows; ++w) {
+      tomo::TomoCnf tc;
+      tc.key.url_id = static_cast<std::int32_t>(c);
+      tc.key.window = w;
+      tc.cnf = chain[static_cast<std::size_t>(w)];
+      for (std::int32_t v = 0; v < tc.cnf.num_vars; ++v) {
+        tc.vars.push_back(static_cast<topo::AsId>(v));
+      }
+      cnfs.push_back(std::move(tc));
+    }
   }
   return cnfs;
 }
 
-// Batch analysis scaling: Arg = worker threads (0 = hardware
-// concurrency).  Verdicts are identical at every arg; only wall-clock
-// should move.
+// Batch analysis over a chain-structured workload (8 URL chains x 30
+// adjacent windows, the engine's stream shape): Args = {threads, delta}
+// with threads 0 = hardware concurrency.  Verdicts are identical at
+// every arg (the equivalence suites enforce it); only wall-clock moves.
+// CDCL is pinned because only the CDCL route chains — the delta axis
+// measures the delta loader, not backend selection (BM_BackendMix).
 void BM_AnalyzeCnfsBatch(benchmark::State& state) {
-  static const std::vector<tomo::TomoCnf> cnfs = tomo_cnf_batch(64);
+  static const std::vector<tomo::TomoCnf> cnfs = tomo_chain_batch(8, 30);
   tomo::AnalysisOptions options;
   options.num_threads = static_cast<unsigned>(state.range(0));
+  options.backend.mode = sat::BackendSelector::Mode::kCdcl;
+  options.delta.enabled = state.range(1) != 0;
+  tomo::EngineStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tomo::analyze_cnfs(cnfs, options));
+    benchmark::DoNotOptimize(tomo::analyze_cnfs(cnfs, options, &stats));
   }
   state.counters["cnfs"] = static_cast<double>(cnfs.size());
+  state.counters["delta_loads"] = static_cast<double>(stats.delta_loads);
+  state.counters["clauses_reused"] = static_cast<double>(stats.clauses_reused);
 }
-BENCHMARK(BM_AnalyzeCnfsBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+BENCHMARK(BM_AnalyzeCnfsBatch)->ArgsProduct({{1, 2, 4, 0}, {0, 1}});
+
+// A year of one (URL, anomaly) chain at day granularity, delta loading
+// vs from-scratch rebuilds, on one session with the engine's query mix
+// per window.  Each window shares a dense constraint core (the stable
+// part of the topology) under a churning tomo-shaped overlay — the
+// regime the delta loader targets: rebuilding re-derives the core's
+// lemmas every window, a delta load keeps them.  The scratch/delta time
+// ratio is the per-chain win, reuse_ratio is how much of the clause
+// database each transition keeps hot.
+void BM_DeltaChain(benchmark::State& state, bool delta_on) {
+  static const std::vector<sat::Cnf>* windows =
+      new std::vector<sat::Cnf>(chain_windows(80, 324, 12, 365, 500));
+  const sat::BackendPlan plan;  // CDCL, the chainable route
+  sat::DeltaPolicy policy;
+  policy.enabled = delta_on;
+  sat::SessionStats stats;
+  for (auto _ : state) {
+    sat::SolverSession session;
+    for (const sat::Cnf& cnf : *windows) {
+      session.load_next(cnf, plan, policy);
+      benchmark::DoNotOptimize(session.classify());
+      benchmark::DoNotOptimize(session.count_models_capped(6));
+      benchmark::DoNotOptimize(session.potential_true_vars());
+    }
+    stats = session.stats();
+  }
+  state.counters["windows"] = static_cast<double>(windows->size());
+  state.counters["delta_loads"] = static_cast<double>(stats.delta_loads);
+  const double touched =
+      static_cast<double>(stats.clauses_reused + stats.clauses_retracted);
+  state.counters["reuse_ratio"] =
+      touched == 0.0 ? 0.0 : static_cast<double>(stats.clauses_reused) / touched;
+}
+BENCHMARK_CAPTURE(BM_DeltaChain, scratch, false)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DeltaChain, delta, true)->Unit(benchmark::kMillisecond);
 
 // Sharded platform execution: the full default-scenario measurement run
 // (platform simulation + clause building + churn/truth tracking, the

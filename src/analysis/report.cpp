@@ -261,6 +261,19 @@ std::string render_backends(const ExperimentResult& result) {
       << "   solver calls: " << fmt_count(static_cast<std::int64_t>(stats.solve_calls))
       << "   models found: " << fmt_count(static_cast<std::int64_t>(stats.models_found))
       << "   arenas: " << stats.arenas << "\n";
+  // Delta loading (README "Delta loading"): window transitions served
+  // by editing the previous formula in place instead of rebuilding.
+  const std::uint64_t total_loads = stats.cnf_loads + stats.delta_loads;
+  const std::uint64_t touched = stats.clauses_reused + stats.clauses_retracted;
+  out << "  delta loads: " << fmt_count(static_cast<std::int64_t>(stats.delta_loads)) << " of "
+      << fmt_count(static_cast<std::int64_t>(total_loads))
+      << "   clauses retracted: " << fmt_count(static_cast<std::int64_t>(stats.clauses_retracted))
+      << "   clauses reused: " << fmt_count(static_cast<std::int64_t>(stats.clauses_reused))
+      << " (" << fmt(touched == 0 ? 0.0
+                                  : 100.0 * static_cast<double>(stats.clauses_reused) /
+                                        static_cast<double>(touched),
+                     1)
+      << "% of delta-visited)\n";
   return out.str();
 }
 

@@ -58,10 +58,11 @@ TEST(BackendEquivalence, VerdictsByteIdenticalAcrossBackends) {
       tomo::AnalysisOptions baseline_options;
       baseline_options.resolve_counts = resolve_counts;
       baseline_options.backend.mode = Mode::kCdcl;
+      baseline_options.delta = sat::DeltaPolicy::from_env();
       tomo::EngineStats baseline_stats;
       const std::vector<tomo::CnfVerdict> baseline =
           tomo::analyze_cnfs(cnfs, baseline_options, &baseline_stats);
-      EXPECT_EQ(baseline_stats.cnf_loads, cnfs.size());
+      EXPECT_EQ(baseline_stats.cnf_loads + baseline_stats.delta_loads, cnfs.size());
 
       for (const Mode mode : kAllModes) {
         SCOPED_TRACE(std::string("backend=") + sat::BackendSelector::to_string(mode));
@@ -75,11 +76,16 @@ TEST(BackendEquivalence, VerdictsByteIdenticalAcrossBackends) {
         // sets, reduction_fraction (CnfVerdict::operator==).
         EXPECT_EQ(verdicts, baseline);
 
-        // The one-load-per-verdict invariant holds on every backend,
-        // and the per-backend counters account for every load.
-        EXPECT_EQ(stats.cnf_loads, cnfs.size());
-        EXPECT_EQ(sum_selected(stats), stats.cnf_loads);
-        EXPECT_EQ(sum_served(stats), stats.cnf_loads);
+        // The one-load-per-verdict invariant holds on every backend
+        // (every CNF is exactly one fresh or one delta load), and the
+        // per-backend counters account for every load.
+        const std::uint64_t loads = stats.cnf_loads + stats.delta_loads;
+        EXPECT_EQ(loads, cnfs.size());
+        EXPECT_EQ(sum_selected(stats), loads);
+        EXPECT_EQ(sum_served(stats), loads);
+        if (!options.delta.enabled) {
+          EXPECT_EQ(stats.delta_loads, 0u) << "CT_SAT_DELTA=0 must force fresh loads";
+        }
         const auto up = static_cast<std::size_t>(BackendKind::kUnitProp);
         EXPECT_EQ(stats.backends[up].escalated + stats.backends[up].served,
                   stats.backends[up].selected);
@@ -89,7 +95,7 @@ TEST(BackendEquivalence, VerdictsByteIdenticalAcrossBackends) {
         }
         if (mode == Mode::kCdcl) {
           EXPECT_EQ(stats.backends[static_cast<std::size_t>(BackendKind::kCdcl)].served,
-                    stats.cnf_loads);
+                    loads);
         }
       }
     }
@@ -138,30 +144,42 @@ void expect_results_equal(const ExperimentResult& a, const ExperimentResult& b) 
   EXPECT_EQ(a.score_all.true_positives, b.score_all.true_positives);
   EXPECT_EQ(a.score_all.false_positives, b.score_all.false_positives);
   EXPECT_EQ(a.score_all.false_negatives, b.score_all.false_negatives);
-  // The backend mix itself differs across modes; only the loads must
-  // match (one per CNF of the main pass, whatever the backend).
-  EXPECT_EQ(a.engine_stats.cnf_loads, b.engine_stats.cnf_loads);
+  // The backend mix itself differs across modes (and the fresh/delta
+  // split differs with it — only CDCL-routed CNFs chain); only the
+  // total loads must match (one per CNF of the main pass, whatever the
+  // backend and however it was loaded).
+  EXPECT_EQ(a.engine_stats.cnf_loads + a.engine_stats.delta_loads,
+            b.engine_stats.cnf_loads + b.engine_stats.delta_loads);
 }
 
 TEST(BackendEquivalence, RunExperimentAcrossBackendsShardsStreaming) {
+  // The baseline always loads from scratch; the matrix follows
+  // CT_SAT_DELTA (default on) — so the default run proves delta loading
+  // byte-identical to scratch across every backend x shards x streaming
+  // combination, and the CT_SAT_DELTA=0 axis pins scratch vs scratch.
   Scenario baseline_scenario(shard_scenario(20170623));
   ExperimentOptions baseline_options;
   baseline_options.analysis.backend.mode = Mode::kCdcl;
+  baseline_options.analysis.delta.enabled = false;
   const ExperimentResult baseline = run_experiment(baseline_scenario, baseline_options);
 
   for (const Mode mode : kAllModes) {
     for (const unsigned shards : {1u, 4u}) {
       for (const bool streaming : {false, true}) {
-        if (mode == Mode::kCdcl && shards == 1 && !streaming) continue;  // the baseline
         SCOPED_TRACE(std::string("backend=") + sat::BackendSelector::to_string(mode) +
                      " shards=" + std::to_string(shards) +
                      (streaming ? " streaming" : " batch"));
         Scenario scenario(shard_scenario(20170623));
         ExperimentOptions options;
         options.analysis.backend.mode = mode;
+        options.analysis.delta = sat::DeltaPolicy::from_env();
         options.num_platform_shards = shards;
         options.streaming = streaming;
-        expect_results_equal(run_experiment(scenario, options), baseline);
+        const ExperimentResult got = run_experiment(scenario, options);
+        expect_results_equal(got, baseline);
+        if (!options.analysis.delta.enabled) {
+          EXPECT_EQ(got.engine_stats.delta_loads, 0u);
+        }
       }
     }
   }
@@ -176,6 +194,7 @@ TEST(BackendEquivalence, RemainingSeedsShardedStreaming) {
     Scenario baseline_scenario(shard_scenario(seed));
     ExperimentOptions baseline_options;
     baseline_options.analysis.backend.mode = Mode::kCdcl;
+    baseline_options.analysis.delta.enabled = false;  // scratch-load truth
     const ExperimentResult baseline = run_experiment(baseline_scenario, baseline_options);
 
     for (const Mode mode : {Mode::kAuto, Mode::kCount, Mode::kUnitProp}) {
@@ -183,6 +202,7 @@ TEST(BackendEquivalence, RemainingSeedsShardedStreaming) {
       Scenario scenario(shard_scenario(seed));
       ExperimentOptions options;
       options.analysis.backend.mode = mode;
+      options.analysis.delta = sat::DeltaPolicy::from_env();
       options.num_platform_shards = 4;
       options.streaming = true;
       expect_results_equal(run_experiment(scenario, options), baseline);

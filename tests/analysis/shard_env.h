@@ -6,7 +6,9 @@
 //   * CT_STREAMING — batch (0, the default) vs streaming pipeline
 //     (README "Streaming ingest"),
 //   * CT_SAT_BACKEND — per-CNF backend selection: auto (the default)
-//     or one forced backend for every CNF (README "Solver backends").
+//     or one forced backend for every CNF (README "Solver backends"),
+//   * CT_SAT_DELTA — cross-window delta loading: on (the default) vs
+//     every CNF loaded from scratch (README "Delta loading").
 // Tests that run the full experiment read both knobs from here, so the
 // env contract lives in exactly one place; the equivalence suites
 // (experiment_shard_test.cpp, streaming_equivalence_test.cpp) share
@@ -38,6 +40,7 @@ inline void apply_env(ExperimentOptions& options) {
   options.num_platform_shards = shards_from_env();
   options.streaming = streaming_from_env();
   options.analysis.backend = sat::BackendSelector::from_env();
+  options.analysis.delta = sat::DeltaPolicy::from_env();
 }
 
 /// The equivalence suites' scenario: small, but long enough (3 weeks)
