@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/monitor.h"
 #include "analysis/platform_sinks.h"
 #include "analysis/scenario.h"
 #include "analysis/streaming_pipeline.h"
@@ -485,6 +486,33 @@ BENCHMARK(BM_StreamingMemory)
     ->Arg(1)
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
+
+// Checkpoint/restore roundtrip for the resident monitor (README
+// "Resident monitor & checkpoints"): serialize a mid-run monitor's
+// complete persistent state, restore it into a fresh monitor, and
+// re-serialize.  This is the whole crash-recovery cost the daemon pays
+// per cadence write; it bounds how aggressive --checkpoint-every can be
+// before checkpointing competes with ingest.
+void BM_CheckpointRoundtrip(benchmark::State& state) {
+  static analysis::Scenario* scenario =
+      new analysis::Scenario(analysis::small_scenario());
+  static const std::string* bytes = [] {
+    analysis::MonitorOptions options;
+    options.segment_days = 7;
+    analysis::MonitorEngine source(*scenario, options);
+    source.run_until(source.num_days() / 2);
+    return new std::string(source.checkpoint());
+  }();
+  for (auto _ : state) {
+    analysis::MonitorOptions options;
+    options.segment_days = 7;
+    analysis::MonitorEngine monitor(*scenario, options);
+    monitor.restore(*bytes);
+    benchmark::DoNotOptimize(monitor.checkpoint().size());
+  }
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes->size());
+}
+BENCHMARK(BM_CheckpointRoundtrip)->Unit(benchmark::kMillisecond);
 
 void BM_ClauseBuild(benchmark::State& state) {
   const net::TracerouteEngine engine(bench_plan(), {});

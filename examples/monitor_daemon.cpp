@@ -1,0 +1,235 @@
+// Crash-safe resident monitor daemon (README "Resident monitor &
+// checkpoints"): runs the measurement platform as a continuous ingest
+// loop on analysis::MonitorEngine, serving LiveReport snapshots to
+// concurrent readers, periodically writing resumable checkpoints, and
+// finishing with the full experiment report — byte-identical to the
+// batch pipeline's, and to itself across any kill/resume sequence.
+//
+//   $ ./monitor_daemon [flags]
+//     --small                small scenario (default: paper-scale year)
+//     --seed S               scenario seed
+//     --days N | --years N   override the scenario's run length
+//     --shards N             platform shards per segment (0 = hardware)
+//     --threads N            SAT worker lanes (0 = hardware)
+//     --segment-days N       ingest segment length (default 28)
+//     --checkpoint FILE      checkpoint file (atomic tmp+rename writes)
+//     --checkpoint-every N   cadence in watermark days (default 28)
+//     --resume               restore FILE before ingesting (if present)
+//     --kill-at DAY          simulate a crash: stop dead at watermark
+//                            DAY, exit 3 — no final checkpoint, no
+//                            report; resume from the last cadence write
+//     --readers N            concurrent LiveReport poller threads
+//     --pace-ms MS           live-feed pacing: sleep MS between segments
+//     --assert-flat-memory   verify the O(open windows) memory contract
+//
+// Replay mode (default) ingests as fast as possible; --pace-ms turns
+// the same loop into a paced live feed.  The final line prints
+// "report-hash <hex>" over the canonical report bytes — the CI smoke
+// job compares a straight run against a killed-and-resumed run.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/checkpoint.h"
+#include "analysis/monitor.h"
+#include "analysis/report.h"
+#include "sat/backend.h"
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--small] [--seed S] [--days N | --years N]\n"
+            << "  [--shards N] [--threads N] [--segment-days N]\n"
+            << "  [--checkpoint FILE] [--checkpoint-every N] [--resume] [--kill-at DAY]\n"
+            << "  [--readers N] [--pace-ms MS] [--assert-flat-memory]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ct::analysis::MonitorEngine;
+  using ct::analysis::MonitorOptions;
+  using ct::analysis::MonitorStats;
+
+  ct::analysis::ScenarioConfig config = ct::analysis::default_scenario();
+  MonitorOptions options;
+  options.experiment.analysis.backend = ct::sat::BackendSelector::from_env();
+  options.experiment.analysis.delta = ct::sat::DeltaPolicy::from_env();
+  options.checkpoint_every = 28;
+
+  bool resume = false;
+  bool assert_flat = false;
+  ct::util::Day kill_at = -1;
+  int readers = 0;
+  int pace_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--small") {
+      config = ct::analysis::small_scenario();
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--days") {
+      config.platform.num_days = static_cast<ct::util::Day>(std::atoi(next()));
+    } else if (arg == "--years") {
+      config.platform.num_days = ct::util::kDaysPerYear * std::atoi(next());
+    } else if (arg == "--shards") {
+      options.experiment.num_platform_shards = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--threads") {
+      options.experiment.num_threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--segment-days") {
+      options.segment_days = static_cast<ct::util::Day>(std::atoi(next()));
+    } else if (arg == "--checkpoint") {
+      options.checkpoint_path = next();
+    } else if (arg == "--checkpoint-every") {
+      options.checkpoint_every = static_cast<ct::util::Day>(std::atoi(next()));
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--kill-at") {
+      kill_at = static_cast<ct::util::Day>(std::atoi(next()));
+    } else if (arg == "--readers") {
+      readers = std::atoi(next());
+    } else if (arg == "--pace-ms") {
+      pace_ms = std::atoi(next());
+    } else if (arg == "--assert-flat-memory") {
+      assert_flat = true;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+
+  ct::analysis::Scenario scenario(config);
+  MonitorEngine monitor(scenario, options);
+
+  std::cout << "monitor_daemon: seed " << config.seed << ", " << config.platform.num_days
+            << " days, segment " << options.segment_days << "d, shards "
+            << options.experiment.num_platform_shards << ", threads "
+            << options.experiment.num_threads << ", checkpoint "
+            << (options.checkpoint_path.empty() ? "(off)" : options.checkpoint_path)
+            << " every " << options.checkpoint_every << "d\n";
+
+  if (resume && !options.checkpoint_path.empty()) {
+    try {
+      monitor.restore_from(options.checkpoint_path);
+      std::cout << "resumed from " << options.checkpoint_path << " at watermark "
+                << monitor.watermark() << "\n";
+    } catch (const ct::analysis::CheckpointError& e) {
+      std::cout << "no usable checkpoint (" << e.what() << "); starting cold\n";
+    }
+  }
+
+  // Concurrent LiveReport readers: each attaches to the snapshot server
+  // and polls until ingest completes, checking watermark monotonicity.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> reader_failed{false};
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(static_cast<std::size_t>(readers));
+  for (int rdr = 0; rdr < readers; ++rdr) {
+    reader_threads.emplace_back([&monitor, &stop, &reader_failed] {
+      ct::analysis::LiveReportServer::Reader reader(monitor.reports());
+      ct::util::Day last = -1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (const auto report = reader.snapshot()) {
+          if (report->watermark < last) reader_failed.store(true);
+          last = report->watermark;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  // The resident loop: one segment per iteration (paced when asked),
+  // with automatic cadence checkpoints inside run_until.  --kill-at
+  // stops the process dead between segments — no teardown checkpoint —
+  // exactly what a crash leaves behind.
+  const ct::util::Day end =
+      kill_at >= 0 ? std::min(kill_at, monitor.num_days()) : monitor.num_days();
+  std::int64_t flat_baseline = 0;
+  while (monitor.watermark() < end) {
+    monitor.run_until(std::min<ct::util::Day>(end, monitor.watermark() + options.segment_days));
+    const MonitorStats stats = monitor.stats();
+    if (flat_baseline == 0 && stats.segments_ingested >= 2) {
+      flat_baseline = stats.retained_clauses_peak;
+    }
+    std::cout << "watermark " << stats.watermark << "/" << monitor.num_days()
+              << "  open-windows " << stats.open_main_windows << "+"
+              << stats.open_ablation_windows << "  churn-open " << stats.churn_open_entries
+              << "  retained-peak " << stats.retained_clauses_peak << "  reads "
+              << stats.engine.snapshot_reads << "\n";
+    if (pace_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+  }
+
+  if (kill_at >= 0) {
+    std::cout << "killed at watermark " << monitor.watermark() << " (simulated crash)\n";
+    stop.store(true);
+    for (std::thread& t : reader_threads) t.join();
+    return 3;
+  }
+
+  const ct::analysis::ExperimentResult result = monitor.finalize();
+  stop.store(true);
+  for (std::thread& t : reader_threads) t.join();
+
+  const MonitorStats stats = monitor.stats();
+  std::cout << "\nsegments " << stats.segments_ingested << ", checkpoints "
+            << stats.checkpoints_written << ", snapshots " << stats.engine.snapshots_published
+            << ", reads " << stats.engine.snapshot_reads << " (stale "
+            << stats.engine.snapshot_stale_reads << ", peak readers "
+            << stats.engine.snapshot_peak_readers << ")\n"
+            << "retained clauses: peak " << stats.retained_clauses_peak << ", now "
+            << stats.retained_clauses_now << ", underflows " << stats.gauge_underflows
+            << "\n";
+  std::cout << ct::analysis::render_headline(result)
+            << ct::analysis::render_score(result, scenario);
+
+  bool ok = !reader_failed.load();
+  if (!ok) std::cerr << "FAIL: a reader observed a watermark regression\n";
+  if (assert_flat) {
+    // Flat-memory contract: the retained-clause peak must not grow with
+    // run length (it is set by segment size), every segment must drain
+    // to zero, and the gauge must never underflow.
+    if (stats.retained_clauses_now != 0) {
+      std::cerr << "FAIL: " << stats.retained_clauses_now << " clauses retained at end\n";
+      ok = false;
+    }
+    if (stats.gauge_underflows != 0) {
+      std::cerr << "FAIL: " << stats.gauge_underflows << " gauge underflows\n";
+      ok = false;
+    }
+    if (flat_baseline > 0 && stats.retained_clauses_peak > 2 * flat_baseline) {
+      std::cerr << "FAIL: retained-clause peak " << stats.retained_clauses_peak
+                << " grew past 2x the two-segment baseline " << flat_baseline
+                << " (memory is not flat in run length)\n";
+      ok = false;
+    }
+  }
+
+  std::cout << "report-hash " << std::hex << fnv1a(ct::analysis::serialize_report(result))
+            << std::dec << "\n";
+  return ok ? 0 : 1;
+}

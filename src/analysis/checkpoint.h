@@ -1,0 +1,101 @@
+// Versioned checkpoint envelope + report serialization for the
+// resident monitor (analysis/monitor.h).
+//
+// A checkpoint is a single byte string:
+//
+//   magic "CTCP" | format version | config fingerprint | watermark |
+//   payload length | payload
+//
+// The payload is the monitor's serialized persistent state (sealed
+// folds, open window groups, churn fold, per-chain session stats); this
+// layer owns only the envelope, so the format version can evolve
+// without the monitor knowing about byte layouts.  open_checkpoint()
+// refuses — with a clean CheckpointError, never UB — anything whose
+// magic, version, or fingerprint does not match, and any truncated or
+// overlong buffer.
+//
+// The fingerprint hashes exactly the configuration that determines
+// results: the scenario (seed + geometry) and the analysis options
+// (min_support, fig1 granularities).  Execution knobs — shards,
+// threads, SAT backend, delta policy — are deliberately excluded:
+// verdicts are pure functions of (CNF, options) across all of them, so
+// a checkpoint written under one execution mode may resume under
+// another and still reproduce the identical final report.
+//
+// serialize_report() renders every result field EXCEPT engine_stats
+// (execution counters legitimately differ between a straight run and a
+// kill/resume run) into a canonical byte string — the "byte-identical
+// final report" the crash/resume suites and the CI smoke job compare.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "analysis/live_report.h"
+#include "util/serde.h"
+
+namespace ct::analysis {
+
+/// Thrown on any malformed, mismatched, or unreadable checkpoint.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x43544350u;  // "CTCP"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Hash of everything that determines the run's results (see header
+/// comment for what is deliberately excluded).
+std::uint64_t config_fingerprint(const Scenario& scenario, const ExperimentOptions& options);
+
+/// Wraps `payload` in the versioned envelope.
+std::string seal_checkpoint(std::uint64_t fingerprint, util::Day watermark,
+                            const std::string& payload);
+
+struct OpenedCheckpoint {
+  util::Day watermark = 0;
+  std::string payload;
+};
+
+/// Validates the envelope and returns the payload.  Throws
+/// CheckpointError on bad magic, unknown version, fingerprint mismatch,
+/// or a truncated/overlong buffer.
+OpenedCheckpoint open_checkpoint(const std::string& bytes, std::uint64_t expected_fingerprint);
+
+/// Crash-safe file write: writes to `path`.tmp, fsyncs, renames over
+/// `path` — a kill mid-checkpoint leaves the previous checkpoint
+/// intact, never a torn file.  Throws CheckpointError on IO failure.
+void write_checkpoint_file(const std::string& path, const std::string& bytes);
+
+/// Reads a whole file; throws CheckpointError if unreadable.
+std::string read_checkpoint_file(const std::string& path);
+
+// --- canonical byte renderings --------------------------------------
+// Freestanding serializers for the public result structs (the folds and
+// sinks carry their own save/load members).
+
+void save_clause_stats(util::ByteWriter& w, const tomo::ClauseBuildStats& stats);
+tomo::ClauseBuildStats load_clause_stats(util::ByteReader& r);
+
+void save_churn_stats(util::ByteWriter& w, const ChurnStats& stats);
+ChurnStats load_churn_stats(util::ByteReader& r);
+
+void save_live_report(util::ByteWriter& w, const LiveReport& report);
+LiveReport load_live_report(util::ByteReader& r);
+
+/// SAT engine counters — the monitor checkpoints its cumulative stats
+/// base so counters keep accumulating across a kill/resume (they are
+/// still excluded from serialize_report(): a resumed run's counters
+/// legitimately differ from a straight run's).
+void save_engine_stats(util::ByteWriter& w, const tomo::EngineStats& stats);
+tomo::EngineStats load_engine_stats(util::ByteReader& r);
+
+/// Canonical bytes of every ExperimentResult field except engine_stats.
+/// Two results serialize identically iff their data products are
+/// identical — the crash/resume byte-identity oracle.
+std::string serialize_report(const ExperimentResult& result);
+
+}  // namespace ct::analysis

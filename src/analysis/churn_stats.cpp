@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/rng.h"
+#include "util/serde.h"
 
 namespace ct::analysis {
 
@@ -90,6 +91,42 @@ void ChurnFold::merge(ChurnFold&& other) {
   }
 }
 
+void ChurnFold::absorb_unsealed(ChurnFold&& other) {
+  if (!same_geometry(other)) {
+    throw std::invalid_argument("ChurnFold::absorb_unsealed: geometry mismatch");
+  }
+  if (other.retired_before_ != 0) {
+    throw std::logic_error("ChurnFold::absorb_unsealed: the absorbed fold must be unsealed");
+  }
+  for (std::size_t gi = 0; gi < util::kAllGranularities.size(); ++gi) {
+    const util::Granularity g = util::kAllGranularities[gi];
+    const util::Day len = util::window_length(g);
+    for (auto& [key, sigs] : other.grans_[gi].open) {
+      if (util::window_start(key.first, g) + len <= retired_before_) {
+        throw std::logic_error("ChurnFold::absorb_unsealed: observation in a window this "
+                               "fold already sealed (" + util::window_label(key.first, g) +
+                               " ends at or before watermark " +
+                               std::to_string(retired_before_) + ")");
+      }
+      auto& mine = grans_[gi].open[key];
+      if (mine.empty()) {
+        mine = std::move(sigs);
+      } else {
+        mine.insert(sigs.begin(), sigs.end());
+      }
+    }
+  }
+  for (std::size_t p = 0; p < run_distinct_.size(); ++p) {
+    auto& mine = run_distinct_[p];
+    auto& theirs = other.run_distinct_[p];
+    if (mine.empty()) {
+      mine = std::move(theirs);
+    } else {
+      mine.insert(theirs.begin(), theirs.end());
+    }
+  }
+}
+
 ChurnStats ChurnFold::snapshot() const {
   ChurnStats stats;
   for (std::size_t gi = 0; gi < util::kAllGranularities.size(); ++gi) {
@@ -133,6 +170,69 @@ std::size_t ChurnFold::open_window_entries() const {
   std::size_t n = 0;
   for (const GranState& gran : grans_) n += gran.open.size();
   return n;
+}
+
+void ChurnFold::save(util::ByteWriter& w) const {
+  const auto save_as = [](util::ByteWriter& w, topo::AsId as) { w.i32(as); };
+  util::save_vec(w, vantages_, save_as);
+  util::save_vec(w, dests_, save_as);
+  w.i32(num_days_);
+  w.i32(epochs_per_day_);
+  for (const GranState& gran : grans_) {
+    gran.counts.save(w);
+    w.i64(gran.samples);
+    w.i64(gran.changed);
+    util::save_map(
+        w, gran.open,
+        [](util::ByteWriter& w, const std::pair<std::int32_t, std::uint32_t>& key) {
+          w.i32(key.first);
+          w.u32(key.second);
+        },
+        [](util::ByteWriter& w, const std::set<std::uint64_t>& sigs) {
+          util::save_set(w, sigs, [](util::ByteWriter& w, std::uint64_t s) { w.u64(s); });
+        });
+  }
+  util::save_vec(w, run_distinct_, [](util::ByteWriter& w, const std::set<std::uint64_t>& sigs) {
+    util::save_set(w, sigs, [](util::ByteWriter& w, std::uint64_t s) { w.u64(s); });
+  });
+  w.i32(retired_before_);
+}
+
+void ChurnFold::load(util::ByteReader& r) {
+  const auto load_as = [](util::ByteReader& r) { return topo::AsId{r.i32()}; };
+  std::vector<topo::AsId> vantages;
+  std::vector<topo::AsId> dests;
+  util::load_vec(r, vantages, load_as);
+  util::load_vec(r, dests, load_as);
+  const util::Day num_days = r.i32();
+  const std::int32_t epochs_per_day = r.i32();
+  if (vantages != vantages_ || dests != dests_ || num_days != num_days_ ||
+      epochs_per_day != epochs_per_day_) {
+    throw util::SerdeError("ChurnFold::load: geometry mismatch with the restoring fold");
+  }
+  const auto load_sigs = [](util::ByteReader& r) {
+    std::set<std::uint64_t> sigs;
+    util::load_set(r, sigs, [](util::ByteReader& r) { return r.u64(); });
+    return sigs;
+  };
+  for (GranState& gran : grans_) {
+    gran.counts.load(r);
+    gran.samples = r.i64();
+    gran.changed = r.i64();
+    util::load_map(
+        r, gran.open,
+        [](util::ByteReader& r) {
+          const std::int32_t window = r.i32();
+          const std::uint32_t pair = r.u32();
+          return std::make_pair(window, pair);
+        },
+        load_sigs);
+  }
+  util::load_vec(r, run_distinct_, load_sigs);
+  if (run_distinct_.size() != num_pairs()) {
+    throw util::SerdeError("ChurnFold::load: run_distinct size mismatch");
+  }
+  retired_before_ = r.i32();
 }
 
 PathChurnTracker::PathChurnTracker(const topo::AsGraph& graph,

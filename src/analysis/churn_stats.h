@@ -28,6 +28,11 @@
 #include "util/stats.h"
 #include "util/timewin.h"
 
+namespace ct::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace ct::util
+
 namespace ct::analysis {
 
 struct ChurnStats {
@@ -82,6 +87,15 @@ class ChurnFold {
   /// windows.
   void merge(ChurnFold&& other);
 
+  /// Folds a still-unsealed fold into this possibly *sealed* fold —
+  /// the resident monitor's segment absorption: a merged ingest
+  /// segment's observations all land on days at or after this fold's
+  /// seal point, so every window they touch is still open here and
+  /// plain set union is sound.  Throws std::invalid_argument on
+  /// geometry mismatch, std::logic_error if `other` has sealed windows
+  /// or carries an observation in a window this fold already sealed.
+  void absorb_unsealed(ChurnFold&& other);
+
   /// The Figure-3 statistics over everything observed so far (sealed
   /// accumulators plus still-open windows).
   ChurnStats snapshot() const;
@@ -105,6 +119,14 @@ class ChurnFold {
   /// fold's only run-length-sensitive state, O(pairs x open windows)
   /// once retire_before() tracks the watermark.
   std::size_t open_window_entries() const;
+
+  /// Checkpoint support (analysis/checkpoint.h): persists everything
+  /// except the graph pointer, geometry included.  load() requires this
+  /// fold to have been constructed with the saved geometry (throws
+  /// util::SerdeError on mismatch) — the graph reference is
+  /// reconstruction-time config the checkpoint envelope fingerprints.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
  private:
   /// Sealed scalar accumulators + unsealed window sets, per granularity.
@@ -157,6 +179,11 @@ class PathChurnTracker : public iclab::MeasurementSink {
   /// min-merged watermark and hands the finished fold back to the
   /// merged sink bundle here.
   void adopt(ChurnFold&& fold);
+
+  /// Moves the fold out (the tracker is spent afterwards) — the
+  /// resident monitor absorbs each merged segment tracker's fold into
+  /// its global sealed fold via ChurnFold::absorb_unsealed().
+  ChurnFold take_fold() { return std::move(fold_); }
 
   /// Computes the Figure-3 statistics from everything recorded so far.
   ChurnStats compute() const { return fold_.snapshot(); }

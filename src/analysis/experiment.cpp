@@ -14,28 +14,6 @@ namespace ct::analysis {
 
 namespace {
 
-/// The incremental folds every data product downstream of the main SAT
-/// pass is derived from.  Batch feeds them from the materialized
-/// verdict vectors (key order); streaming feeds them from the any-time
-/// callbacks (emission order).  Every fold is order-independent (or
-/// key-sorts at finalization), so the two paths are byte-identical by
-/// construction.
-struct ExperimentFolds {
-  explicit ExperimentFolds(const ExperimentOptions& options)
-      : verdicts(options.fig1_granularities), fig4(options.fig1_granularities) {}
-
-  VerdictFold verdicts;
-  tomo::CensorSupport support;
-  tomo::LeakageFold leakage;
-  Fig4Fold fig4;
-
-  void add_main(const tomo::TomoCnf& cnf, const tomo::CnfVerdict& verdict) {
-    verdicts.add(verdict);
-    support.add(verdict);
-    leakage.add(cnf, verdict);
-  }
-};
-
 /// Batch Figure 4: strip churn, rebuild, analyze with resolved counts —
 /// the phase-separated form of the streaming pipeline's ablation pass.
 void run_fig4_batch(const tomo::PathPool& pool, const std::vector<tomo::PathClause>& clauses,
@@ -147,9 +125,6 @@ Fig5Data make_fig5(const topo::AsGraph& graph, const std::vector<topo::AsId>& ce
 }  // namespace
 
 ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& options) {
-  const auto& graph = scenario.graph();
-  iclab::Platform& platform = scenario.platform();
-
   // --- platform run + CNF construction + main SAT pass ---
   // Batch: run all sinks to completion, then build every CNF, then
   // analyze the batch, then run the Figure-4 ablation as a second
@@ -205,9 +180,24 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
     fig3 = sinks->churn_tracker.compute();
   }
 
-  const iclab::DatasetSummary& summary = sinks->summary;
-  const tomo::ClauseBuilder& clause_builder = sinks->clause_builder;
-  const TruthTracker& truth_tracker = sinks->truth_tracker;
+  const tomo::EngineStats engine_stats = result.engine_stats;
+  result = finalize_experiment_result(scenario, options, folds, sinks->summary,
+                                      sinks->clause_builder.stats(), sinks->truth_tracker,
+                                      std::move(fig3));
+  result.engine_stats = engine_stats;
+  return result;
+}
+
+ExperimentResult finalize_experiment_result(Scenario& scenario,
+                                            const ExperimentOptions& options,
+                                            const ExperimentFolds& folds,
+                                            const iclab::DatasetSummary& summary,
+                                            const tomo::ClauseBuildStats& clause_stats,
+                                            const TruthTracker& truth_tracker,
+                                            ChurnStats fig3) {
+  const auto& graph = scenario.graph();
+  const iclab::Platform& platform = scenario.platform();
+  ExperimentResult result;
 
   // --- Table 1 ---
   result.table1.measurements = summary.measurements();
@@ -219,7 +209,7 @@ ExperimentResult run_experiment(Scenario& scenario, const ExperimentOptions& opt
   for (const censor::Anomaly a : censor::kAllAnomalies) {
     result.table1.anomaly_counts[static_cast<std::size_t>(a)] = summary.anomaly_count(a);
   }
-  result.table1.clause_stats = clause_builder.stats();
+  result.table1.clause_stats = clause_stats;
 
   // --- figures from the folds ---
   result.total_cnfs = folds.verdicts.total();

@@ -2,7 +2,35 @@
 
 #include <algorithm>
 
+#include "util/serde.h"
+
 namespace ct::analysis {
+
+namespace {
+
+void save_split(util::ByteWriter& w, const SolutionSplit& split) {
+  for (const std::int64_t c : split.count) w.i64(c);
+}
+
+SolutionSplit load_split(util::ByteReader& r) {
+  SolutionSplit split;
+  for (std::int64_t& c : split.count) c = r.i64();
+  return split;
+}
+
+void save_as_counts(util::ByteWriter& w, const std::map<topo::AsId, std::int64_t>& m) {
+  util::save_map(
+      w, m, [](util::ByteWriter& w, topo::AsId as) { w.i32(as); },
+      [](util::ByteWriter& w, std::int64_t n) { w.i64(n); });
+}
+
+void load_as_counts(util::ByteReader& r, std::map<topo::AsId, std::int64_t>& m) {
+  util::load_map(
+      r, m, [](util::ByteReader& r) { return topo::AsId{r.i32()}; },
+      [](util::ByteReader& r) { return r.i64(); });
+}
+
+}  // namespace
 
 void LiveCounts::add(const tomo::CnfVerdict& v) {
   ++cnfs;
@@ -22,6 +50,24 @@ void LiveCounts::fill(LiveReport& report) const {
   report.by_url = by_url;
   report.exact_censor_cnfs = exact_censor_cnfs;
   report.potential_censor_cnfs = potential_censor_cnfs;
+}
+
+void LiveCounts::save(util::ByteWriter& w) const {
+  w.i64(cnfs);
+  save_split(w, overall);
+  util::save_map(
+      w, by_url, [](util::ByteWriter& w, std::int32_t url) { w.i32(url); }, save_split);
+  save_as_counts(w, exact_censor_cnfs);
+  save_as_counts(w, potential_censor_cnfs);
+}
+
+void LiveCounts::load(util::ByteReader& r) {
+  cnfs = r.i64();
+  overall = load_split(r);
+  util::load_map(
+      r, by_url, [](util::ByteReader& r) { return r.i32(); }, load_split);
+  load_as_counts(r, exact_censor_cnfs);
+  load_as_counts(r, potential_censor_cnfs);
 }
 
 VerdictFold::VerdictFold(std::vector<util::Granularity> fig1_granularities) {
@@ -70,6 +116,54 @@ Fig2Data VerdictFold::fig2() const {
   return fig2;
 }
 
+void VerdictFold::save(util::ByteWriter& w) const {
+  counts_.save(w);
+  util::save_map(
+      w, fig1_.by_granularity,
+      [](util::ByteWriter& w, util::Granularity g) { w.u8(static_cast<std::uint8_t>(g)); },
+      save_split);
+  util::save_map(
+      w, fig1_.by_anomaly,
+      [](util::ByteWriter& w, censor::Anomaly a) { w.u8(static_cast<std::uint8_t>(a)); },
+      save_split);
+  util::save_vec(w, fig2_samples_,
+                 [](util::ByteWriter& w, const std::pair<tomo::CnfKey, double>& s) {
+                   w.i32(s.first.url_id);
+                   w.u8(static_cast<std::uint8_t>(s.first.anomaly));
+                   w.u8(static_cast<std::uint8_t>(s.first.granularity));
+                   w.i32(s.first.window);
+                   w.f64(s.second);
+                 });
+  w.i64(fig2_no_elimination_);
+}
+
+void VerdictFold::load(util::ByteReader& r) {
+  std::vector<util::Granularity> expected_grans;
+  for (const auto& [g, split] : fig1_.by_granularity) expected_grans.push_back(g);
+  counts_.load(r);
+  util::load_map(
+      r, fig1_.by_granularity,
+      [](util::ByteReader& r) { return static_cast<util::Granularity>(r.u8()); }, load_split);
+  util::load_map(
+      r, fig1_.by_anomaly,
+      [](util::ByteReader& r) { return static_cast<censor::Anomaly>(r.u8()); }, load_split);
+  std::vector<util::Granularity> loaded_grans;
+  for (const auto& [g, split] : fig1_.by_granularity) loaded_grans.push_back(g);
+  if (loaded_grans != expected_grans) {
+    throw util::SerdeError("VerdictFold::load: fig1 granularity set mismatch");
+  }
+  util::load_vec(r, fig2_samples_, [](util::ByteReader& r) {
+    tomo::CnfKey key;
+    key.url_id = r.i32();
+    key.anomaly = static_cast<censor::Anomaly>(r.u8());
+    key.granularity = static_cast<util::Granularity>(r.u8());
+    key.window = r.i32();
+    const double pct = r.f64();
+    return std::make_pair(key, pct);
+  });
+  fig2_no_elimination_ = r.i64();
+}
+
 Fig4Fold::Fig4Fold(const std::vector<util::Granularity>& granularities) {
   for (const util::Granularity g : granularities) {
     fig4_.solution_counts.emplace(g, util::BucketedCounts(4));
@@ -84,11 +178,54 @@ void Fig4Fold::add(const tomo::CnfVerdict& v) {
   five_plus_ += v.capped_count >= 5 ? 1 : 0;
 }
 
+void Fig4Fold::save(util::ByteWriter& w) const {
+  util::save_map(
+      w, fig4_.solution_counts,
+      [](util::ByteWriter& w, util::Granularity g) { w.u8(static_cast<std::uint8_t>(g)); },
+      [](util::ByteWriter& w, const util::BucketedCounts& counts) { counts.save(w); });
+  w.i64(five_plus_);
+  w.i64(total_);
+}
+
+void Fig4Fold::load(util::ByteReader& r) {
+  std::vector<util::Granularity> expected_grans;
+  for (const auto& [g, counts] : fig4_.solution_counts) expected_grans.push_back(g);
+  util::load_map(
+      r, fig4_.solution_counts,
+      [](util::ByteReader& r) { return static_cast<util::Granularity>(r.u8()); },
+      [](util::ByteReader& r) {
+        util::BucketedCounts counts(4);
+        counts.load(r);
+        return counts;
+      });
+  std::vector<util::Granularity> loaded_grans;
+  for (const auto& [g, counts] : fig4_.solution_counts) loaded_grans.push_back(g);
+  if (loaded_grans != expected_grans) {
+    throw util::SerdeError("Fig4Fold::load: granularity set mismatch");
+  }
+  five_plus_ = r.i64();
+  total_ = r.i64();
+}
+
 Fig4Data Fig4Fold::finalize() const {
   Fig4Data fig4 = fig4_;
   fig4.fraction_five_plus =
       total_ == 0 ? 0.0 : static_cast<double>(five_plus_) / static_cast<double>(total_);
   return fig4;
+}
+
+void ExperimentFolds::save(util::ByteWriter& w) const {
+  verdicts.save(w);
+  support.save(w);
+  leakage.save(w);
+  fig4.save(w);
+}
+
+void ExperimentFolds::load(util::ByteReader& r) {
+  verdicts.load(r);
+  support.load(r);
+  leakage.load(r);
+  fig4.load(r);
 }
 
 }  // namespace ct::analysis

@@ -19,8 +19,10 @@
 
 #include "analysis/churn_stats.h"
 #include "analysis/experiment.h"
+#include "analysis/truth_tracker.h"
 #include "tomo/cnf_builder.h"
 #include "tomo/engine.h"
+#include "tomo/leakage.h"
 
 namespace ct::analysis {
 
@@ -60,6 +62,10 @@ struct LiveCounts {
   void add(const tomo::CnfVerdict& verdict);
   /// Copies the counts into `report` (watermark/churn are the caller's).
   void fill(LiveReport& report) const;
+
+  /// Checkpoint support (analysis/checkpoint.h).
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 };
 
 /// Incremental fold of the main pass's verdicts into the Figure-1/2
@@ -74,6 +80,16 @@ class VerdictFold {
   Fig1Data fig1() const;
   /// Figure 2: reduction samples in CnfKey order (the batch order).
   Fig2Data fig2() const;
+
+  /// The LiveCounts accumulated so far — the monitor's snapshot server
+  /// fills LiveReports from here without a second fold.
+  const LiveCounts& counts() const { return counts_; }
+
+  /// Checkpoint support (analysis/checkpoint.h): persists every
+  /// accumulator; load() requires a fold constructed with the same
+  /// fig1 granularity set (the envelope fingerprint guards this).
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
  private:
   LiveCounts counts_;
@@ -91,10 +107,55 @@ class Fig4Fold {
   void add(const tomo::CnfVerdict& verdict);
   Fig4Data finalize() const;
 
+  /// Checkpoint support (analysis/checkpoint.h); the granularity set is
+  /// construction-time config, restored keys must match (SerdeError).
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
+
  private:
   Fig4Data fig4_;
   std::int64_t five_plus_ = 0;
   std::int64_t total_ = 0;
 };
+
+/// The incremental folds every data product downstream of the main SAT
+/// pass is derived from.  Batch feeds them from the materialized
+/// verdict vectors (key order); streaming and the resident monitor feed
+/// them from the any-time callbacks (emission order).  Every fold is
+/// order-independent (or key-sorts at finalization), so all paths are
+/// byte-identical by construction.
+struct ExperimentFolds {
+  explicit ExperimentFolds(const ExperimentOptions& options)
+      : verdicts(options.fig1_granularities), fig4(options.fig1_granularities) {}
+
+  VerdictFold verdicts;
+  tomo::CensorSupport support;
+  tomo::LeakageFold leakage;
+  Fig4Fold fig4;
+
+  void add_main(const tomo::TomoCnf& cnf, const tomo::CnfVerdict& verdict) {
+    verdicts.add(verdict);
+    support.add(verdict);
+    leakage.add(cnf, verdict);
+  }
+
+  /// Checkpoint support (analysis/checkpoint.h): all four folds.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
+};
+
+/// Derives the full ExperimentResult (tables, figures, censor lists,
+/// leakage, ground-truth scores) from sealed folds plus the run-wide
+/// sink products.  This is the one finalization path: run_experiment
+/// (batch and streaming) and MonitorEngine::finalize both end here, so
+/// a resumed monitor run reproduces the batch report byte for byte.
+/// `engine_stats` is NOT filled in — the caller owns its SAT counters.
+ExperimentResult finalize_experiment_result(Scenario& scenario,
+                                            const ExperimentOptions& options,
+                                            const ExperimentFolds& folds,
+                                            const iclab::DatasetSummary& summary,
+                                            const tomo::ClauseBuildStats& clause_stats,
+                                            const TruthTracker& truth_tracker,
+                                            ChurnStats fig3);
 
 }  // namespace ct::analysis

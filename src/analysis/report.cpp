@@ -274,6 +274,15 @@ std::string render_backends(const ExperimentResult& result) {
                                         static_cast<double>(touched),
                      1)
       << "% of delta-visited)\n";
+  // Clause conservation: fresh + reused + added covers every analyzed
+  // CNF's clauses exactly once (see tomo::EngineStats), so the delta
+  // counters can be audited against the CNF stream itself.
+  out << "  clauses loaded fresh: " << fmt_count(static_cast<std::int64_t>(stats.fresh_clauses))
+      << "   added by delta: " << fmt_count(static_cast<std::int64_t>(stats.clauses_added))
+      << "   conserved total: "
+      << fmt_count(static_cast<std::int64_t>(stats.fresh_clauses + stats.clauses_reused +
+                                             stats.clauses_added))
+      << "\n";
   return out.str();
 }
 

@@ -598,6 +598,7 @@ StreamingResult run_streaming_pipeline(Scenario& scenario, const StreamingOption
   result.memory.peak_retained_clauses = gauge.peak();
   result.memory.final_retained_clauses = gauge.current();
   result.memory.total_clauses = result.sinks->clause_builder.stats().clauses;
+  result.memory.gauge_underflows = gauge.underflows();
   result.sinks->clause_builder.set_retained_gauge(nullptr);
 
   result.final_report = live.finish(platform.config().num_days, std::move(final_churn));

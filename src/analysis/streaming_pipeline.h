@@ -121,6 +121,9 @@ struct StreamingMemoryStats {
   std::int64_t final_retained_clauses = 0;
   /// Clauses built over the whole run (== ClauseBuildStats::clauses).
   std::int64_t total_clauses = 0;
+  /// util::HwmGauge underflow events (a retire outran its retain).
+  /// Always 0 in a correct pipeline; the memory suite asserts it.
+  std::int64_t gauge_underflows = 0;
 };
 
 struct StreamingResult {

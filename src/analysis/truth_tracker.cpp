@@ -1,5 +1,7 @@
 #include "analysis/truth_tracker.h"
 
+#include "util/serde.h"
+
 namespace ct::analysis {
 
 void TruthTracker::on_measurement(const iclab::Measurement& m) {
@@ -16,6 +18,14 @@ void TruthTracker::on_measurement(const iclab::Measurement& m) {
 
 void TruthTracker::merge(TruthTracker&& other) {
   observable_.insert(other.observable_.begin(), other.observable_.end());
+}
+
+void TruthTracker::save(util::ByteWriter& w) const {
+  util::save_set(w, observable_, [](util::ByteWriter& w, topo::AsId as) { w.i32(as); });
+}
+
+void TruthTracker::load(util::ByteReader& r) {
+  util::load_set(r, observable_, [](util::ByteReader& r) { return topo::AsId{r.i32()}; });
 }
 
 }  // namespace ct::analysis

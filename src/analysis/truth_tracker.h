@@ -14,6 +14,11 @@
 #include "iclab/platform.h"
 #include "topo/as_graph.h"
 
+namespace ct::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace ct::util
+
 namespace ct::analysis {
 
 class TruthTracker : public iclab::MeasurementSink {
@@ -32,6 +37,12 @@ class TruthTracker : public iclab::MeasurementSink {
   std::vector<topo::AsId> observable() const {
     return {observable_.begin(), observable_.end()};
   }
+
+  /// Checkpoint support (analysis/checkpoint.h): persists the
+  /// observable set; the registry/platform references are
+  /// reconstruction-time wiring.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
  private:
   const censor::CensorRegistry& registry_;

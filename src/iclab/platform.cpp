@@ -6,6 +6,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/serde.h"
 #include "util/thread_pool.h"
 
 namespace ct::iclab {
@@ -457,8 +458,8 @@ void DatasetSummary::on_measurement(const Measurement& m) {
       ++anomaly_counts_[static_cast<std::size_t>(a)];
     }
   }
-  seen_vantages_.push_back(m.vantage);
-  seen_urls_.push_back(m.url_id);
+  seen_vantages_.insert(m.vantage);
+  seen_urls_.insert(m.url_id);
 }
 
 void DatasetSummary::merge(DatasetSummary&& other) {
@@ -467,9 +468,8 @@ void DatasetSummary::merge(DatasetSummary&& other) {
   for (std::size_t i = 0; i < anomaly_counts_.size(); ++i) {
     anomaly_counts_[i] += other.anomaly_counts_[i];
   }
-  seen_vantages_.insert(seen_vantages_.end(), other.seen_vantages_.begin(),
-                        other.seen_vantages_.end());
-  seen_urls_.insert(seen_urls_.end(), other.seen_urls_.begin(), other.seen_urls_.end());
+  seen_vantages_.insert(other.seen_vantages_.begin(), other.seen_vantages_.end());
+  seen_urls_.insert(other.seen_urls_.begin(), other.seen_urls_.end());
 }
 
 double DatasetSummary::anomaly_fraction(Anomaly a) const {
@@ -479,19 +479,33 @@ double DatasetSummary::anomaly_fraction(Anomaly a) const {
 }
 
 std::int64_t DatasetSummary::distinct_vantages() const {
-  std::set<topo::AsId> s(seen_vantages_.begin(), seen_vantages_.end());
-  return static_cast<std::int64_t>(s.size());
+  return static_cast<std::int64_t>(seen_vantages_.size());
 }
 
 std::int64_t DatasetSummary::distinct_urls() const {
-  std::set<std::int32_t> s(seen_urls_.begin(), seen_urls_.end());
-  return static_cast<std::int64_t>(s.size());
+  return static_cast<std::int64_t>(seen_urls_.size());
 }
 
 std::int64_t DatasetSummary::distinct_countries() const {
   std::set<topo::CountryId> s;
   for (const topo::AsId vp : seen_vantages_) s.insert(graph_.as_info(vp).country);
   return static_cast<std::int64_t>(s.size());
+}
+
+void DatasetSummary::save(util::ByteWriter& w) const {
+  w.i64(measurements_);
+  w.i64(unreachable_);
+  for (const std::int64_t c : anomaly_counts_) w.i64(c);
+  util::save_set(w, seen_vantages_, [](util::ByteWriter& w, topo::AsId as) { w.i32(as); });
+  util::save_set(w, seen_urls_, [](util::ByteWriter& w, std::int32_t url) { w.i32(url); });
+}
+
+void DatasetSummary::load(util::ByteReader& r) {
+  measurements_ = r.i64();
+  unreachable_ = r.i64();
+  for (std::int64_t& c : anomaly_counts_) c = r.i64();
+  util::load_set(r, seen_vantages_, [](util::ByteReader& r) { return topo::AsId{r.i32()}; });
+  util::load_set(r, seen_urls_, [](util::ByteReader& r) { return r.i32(); });
 }
 
 }  // namespace ct::iclab

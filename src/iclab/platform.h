@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,11 @@
 #include "topo/as_graph.h"
 #include "util/rng.h"
 #include "util/timewin.h"
+
+namespace ct::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace ct::util
 
 namespace ct::iclab {
 
@@ -285,13 +291,21 @@ class DatasetSummary : public MeasurementSink {
   std::int64_t distinct_urls() const;
   std::int64_t distinct_countries() const;
 
+  /// Checkpoint support (analysis/checkpoint.h): persists everything
+  /// but the graph reference.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
+
  private:
   const topo::AsGraph& graph_;
   std::int64_t measurements_ = 0;
   std::int64_t unreachable_ = 0;
   std::array<std::int64_t, censor::kNumAnomalies> anomaly_counts_{};
-  std::vector<topo::AsId> seen_vantages_;
-  std::vector<std::int32_t> seen_urls_;
+  // Distinct sets, not per-measurement logs: the resident monitor holds
+  // one summary for a multi-year stream, so per-measurement state here
+  // would break its O(open windows) memory contract.
+  std::set<topo::AsId> seen_vantages_;
+  std::set<std::int32_t> seen_urls_;
 };
 
 }  // namespace ct::iclab

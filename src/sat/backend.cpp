@@ -1,9 +1,10 @@
 #include "sat/backend.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <stdexcept>
 #include <string>
+
+#include "util/env.h"
 
 namespace ct::sat {
 
@@ -71,9 +72,11 @@ CnfDelta compute_cnf_delta(const std::vector<std::vector<Lit>>& a, std::int32_t 
 
 DeltaPolicy DeltaPolicy::from_env() {
   DeltaPolicy policy;
-  if (const char* env = std::getenv("CT_SAT_DELTA")) {
-    if (*env != '\0') policy.enabled = std::strtoul(env, nullptr, 10) != 0;
-  }
+  // Fail fast on an unrecognized value: strtoul-style parsing used to
+  // read any non-numeric string as 0, so a typo'd CI matrix entry
+  // (CT_SAT_DELTA=noo) silently *disabled* delta loading while the run
+  // kept passing.
+  policy.enabled = util::env_parse_bool("CT_SAT_DELTA", policy.enabled);
   return policy;
 }
 
@@ -331,9 +334,9 @@ const char* BackendSelector::to_string(Mode mode) {
 
 BackendSelector BackendSelector::from_env() {
   BackendSelector selector;
-  if (const char* env = std::getenv("CT_SAT_BACKEND")) {
-    if (const auto mode = parse(env)) selector.mode = *mode;
-  }
+  // Fail fast on an unrecognized value (see DeltaPolicy::from_env): a
+  // misspelled backend name used to silently run auto selection.
+  selector.mode = util::env_parse<Mode>("CT_SAT_BACKEND", selector.mode, parse);
   return selector;
 }
 

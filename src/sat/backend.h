@@ -97,8 +97,10 @@ struct DeltaPolicy {
   std::uint32_t max_chain_loads = 64;
 
   /// Policy with `enabled` forced by the CT_SAT_DELTA environment
-  /// variable (0 disables, anything else enables) when set; default
-  /// (enabled) otherwise.  The CI equivalence matrix runs both values.
+  /// variable (0/false/off disables, 1/true/on enables) when set;
+  /// default (enabled) otherwise.  Any other value throws
+  /// util::EnvParseError — a typo must not silently run the wrong
+  /// configuration.  The CI equivalence matrix runs both values.
   static DeltaPolicy from_env();
 };
 
@@ -317,8 +319,9 @@ struct BackendSelector {
   static std::optional<Mode> parse(std::string_view name);
   static const char* to_string(Mode mode);
   /// Selector with `mode` forced by the CT_SAT_BACKEND environment
-  /// variable ({auto, cdcl, count, unitprop}) when set and valid;
-  /// default (auto) otherwise.
+  /// variable ({auto, cdcl, count, unitprop}) when set; default (auto)
+  /// when unset.  Any other value throws util::EnvParseError — a typo
+  /// must not silently run auto selection.
   static BackendSelector from_env();
 };
 

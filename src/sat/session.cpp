@@ -27,6 +27,8 @@ SessionStats& operator+=(SessionStats& a, const SessionStats& b) {
   a.delta_loads += b.delta_loads;
   a.clauses_retracted += b.clauses_retracted;
   a.clauses_reused += b.clauses_reused;
+  a.fresh_clauses += b.fresh_clauses;
+  a.clauses_added += b.clauses_added;
   for (std::size_t k = 0; k < kNumBackendKinds; ++k) {
     a.backends[k].selected += b.backends[k].selected;
     a.backends[k].served += b.backends[k].served;
@@ -69,6 +71,7 @@ void SolverSession::load_next(const Cnf& cnf, const BackendPlan& plan,
         ++stats_.delta_loads;
         stats_.clauses_retracted += delta.removed.size();
         stats_.clauses_reused += delta.shared;
+        stats_.clauses_added += delta.added.size();
         ++stats_.backends[idx(BackendKind::kCdcl)].selected;
         ++stats_.backends[idx(BackendKind::kCdcl)].served;
         prev_canon_ = std::move(canon);
@@ -93,6 +96,7 @@ void SolverSession::load_next(const Cnf& cnf, const BackendPlan& plan,
 void SolverSession::do_load(const Cnf& cnf, const BackendPlan& plan, bool retractable) {
   reset_cnf_state(cnf);
   ++stats_.cnf_loads;
+  stats_.fresh_clauses += cnf.clauses.size();
   ++stats_.backends[idx(plan.primary)].selected;
   backend_ = fetch_backend(plan.primary);
   if (retractable) {

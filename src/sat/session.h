@@ -72,6 +72,18 @@ struct SessionStats {
   std::uint64_t delta_loads = 0;
   std::uint64_t clauses_retracted = 0;
   std::uint64_t clauses_reused = 0;
+  /// Clause-conservation counters: problem clauses asserted by fresh
+  /// loads, and clauses asserted by delta edits.  Every analyzed CNF is
+  /// covered exactly once, so for any load sequence — batch, streaming,
+  /// any worker count, any chain-LRU eviction pattern —
+  ///   fresh_clauses + clauses_reused + clauses_added
+  ///     == sum of |cnf.clauses| over the analyzed CNFs.
+  /// The equivalence suites cross-check the retract/reuse totals
+  /// through this identity (counts differ legitimately between batch
+  /// and streaming because chain interleaving differs; the conservation
+  /// sum may not).
+  std::uint64_t fresh_clauses = 0;
+  std::uint64_t clauses_added = 0;
   /// Per-backend selection/serving counters, indexed by BackendKind.
   std::array<BackendCounters, kNumBackendKinds> backends{};
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "tomo/cnf_builder.h"
+#include "util/serde.h"
 
 namespace ct::tomo {
 
@@ -13,6 +14,24 @@ PathPool::PathId PathPool::intern(const std::vector<topo::AsId>& path) {
   const auto [it, inserted] = index_.emplace(path, static_cast<PathId>(paths_.size()));
   if (inserted) paths_.push_back(path);
   return it->second;
+}
+
+void PathPool::save(util::ByteWriter& w) const {
+  util::save_vec(w, paths_, [](util::ByteWriter& w, const std::vector<topo::AsId>& path) {
+    util::save_vec(w, path, [](util::ByteWriter& w, topo::AsId as) { w.i32(as); });
+  });
+}
+
+void PathPool::load(util::ByteReader& r) {
+  index_.clear();
+  util::load_vec(r, paths_, [](util::ByteReader& r) {
+    std::vector<topo::AsId> path;
+    util::load_vec(r, path, [](util::ByteReader& r) { return topo::AsId{r.i32()}; });
+    return path;
+  });
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    index_.emplace(paths_[i], static_cast<PathId>(i));
+  }
 }
 
 ClauseBuilder::ClauseBuilder(const net::Ip2AsDb& db) : db_(db) {}

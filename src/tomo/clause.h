@@ -25,6 +25,11 @@
 #include "util/hwm.h"
 #include "util/timewin.h"
 
+namespace ct::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace ct::util
+
 namespace ct::tomo {
 
 // Defined in tomo/cnf_builder.h (which includes this header); the
@@ -44,6 +49,12 @@ class PathPool {
     return paths_.at(static_cast<std::size_t>(id));
   }
   std::size_t size() const { return paths_.size(); }
+
+  /// Checkpoint support (analysis/checkpoint.h).  save() emits the
+  /// interned paths in id order; load() replaces the pool wholesale and
+  /// rebuilds the dedup index, so ids survive a save/load round trip.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
  private:
   std::map<std::vector<topo::AsId>, PathId> index_;

@@ -6,7 +6,32 @@
 #include <string>
 #include <utility>
 
+#include "util/serde.h"
+
 namespace ct::tomo {
+
+namespace {
+
+void save_cnf_key(util::ByteWriter& w, const CnfKey& key) {
+  w.i32(key.url_id);
+  w.u8(static_cast<std::uint8_t>(key.anomaly));
+  w.u8(static_cast<std::uint8_t>(key.granularity));
+  w.i32(key.window);
+}
+
+CnfKey load_cnf_key(util::ByteReader& r) {
+  CnfKey key;
+  key.url_id = r.i32();
+  key.anomaly = static_cast<censor::Anomaly>(r.u8());
+  key.granularity = static_cast<util::Granularity>(r.u8());
+  key.window = r.i32();
+  return key;
+}
+
+void save_path_id(util::ByteWriter& w, PathPool::PathId id) { w.i32(id); }
+PathPool::PathId load_path_id(util::ByteReader& r) { return r.i32(); }
+
+}  // namespace
 
 sat::Var TomoCnf::var_of(topo::AsId as) const {
   for (std::size_t v = 0; v < vars.size(); ++v) {
@@ -130,6 +155,33 @@ std::vector<TomoCnf> StreamingCnfBuilder::flush() {
   return out;
 }
 
+void StreamingCnfBuilder::save(util::ByteWriter& w) const {
+  // pool_ is only populated in owned-pool mode; in borrowed mode it is
+  // empty and this is one zero-length prefix.
+  pool_.save(w);
+  util::save_map(
+      w, groups_, save_cnf_key, [](util::ByteWriter& w, const Group& group) {
+        util::save_vec(w, group.positive_ids, save_path_id);
+        util::save_set(w, group.positive_seen, save_path_id);
+        util::save_set(w, group.negative_seen, save_path_id);
+      });
+  w.i32(watermark_);
+  w.i64(emitted_);
+}
+
+void StreamingCnfBuilder::load(util::ByteReader& r) {
+  pool_.load(r);
+  util::load_map(r, groups_, load_cnf_key, [](util::ByteReader& r) {
+    Group group;
+    util::load_vec(r, group.positive_ids, load_path_id);
+    util::load_set(r, group.positive_seen, load_path_id);
+    util::load_set(r, group.negative_seen, load_path_id);
+    return group;
+  });
+  watermark_ = r.i32();
+  emitted_ = r.i64();
+}
+
 std::vector<TomoCnf> build_cnfs(const PathPool& pool, const std::vector<PathClause>& clauses,
                                 const CnfBuildOptions& options) {
   StreamingCnfBuilder builder(options, &pool);
@@ -156,6 +208,27 @@ bool ChurnStripFilter::keep(const PathPool& pool, const PathClause& clause) {
   // platform's emission order, i.e. chronological within a URL.
   const auto it = first_path_.emplace(key, clause.path_id).first;
   return it->second == clause.path_id;
+}
+
+void ChurnStripFilter::save(util::ByteWriter& w) const {
+  util::save_map(
+      w, first_path_,
+      [](util::ByteWriter& w, const std::pair<topo::AsId, std::int32_t>& key) {
+        w.i32(key.first);
+        w.i32(key.second);
+      },
+      save_path_id);
+}
+
+void ChurnStripFilter::load(util::ByteReader& r) {
+  util::load_map(
+      r, first_path_,
+      [](util::ByteReader& r) {
+        const topo::AsId vantage = r.i32();
+        const std::int32_t url_id = r.i32();
+        return std::make_pair(vantage, url_id);
+      },
+      load_path_id);
 }
 
 std::vector<PathClause> strip_path_churn(const PathPool& pool,

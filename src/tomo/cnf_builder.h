@@ -138,6 +138,16 @@ class StreamingCnfBuilder {
   std::size_t open_windows() const { return groups_.size(); }
   std::int64_t emitted() const { return emitted_; }
 
+  /// Checkpoint support (analysis/checkpoint.h): persists the open
+  /// window groups, watermark, and emitted count — NOT the options or
+  /// the borrowed-pool binding, which are construction-time config the
+  /// restoring caller must recreate identically (the checkpoint
+  /// envelope's config fingerprint guards this).  In borrowed-pool mode
+  /// the group path ids resolve in the borrowed pool, so the caller must
+  /// save/load that pool alongside.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
+
  private:
   struct Group {
     // Deduplicated positive / negative path ids, insertion-ordered
@@ -185,6 +195,11 @@ class ChurnStripFilter {
   /// True iff `clause` survives the ablation.  Empty paths never do
   /// (and never become a pair's first path).
   bool keep(const PathPool& pool, const PathClause& clause);
+
+  /// Checkpoint support: persists the recorded first-path ids (which
+  /// resolve in the caller's pool — save/load that pool alongside).
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
  private:
   std::map<std::pair<topo::AsId, std::int32_t>, PathPool::PathId> first_path_;

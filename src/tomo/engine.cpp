@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/serde.h"
 #include "util/thread_pool.h"
 
 namespace ct::tomo {
@@ -112,22 +113,28 @@ CnfVerdict analyze_cnf(const TomoCnf& tc, const AnalysisOptions& options) {
   return arena.analyze(tc, options);
 }
 
+void EngineStats::add_arena(const sat::SessionStats& s) {
+  cnf_loads += s.cnf_loads;
+  solve_calls += s.solve_calls;
+  models_found += s.models_found;
+  delta_loads += s.delta_loads;
+  clauses_retracted += s.clauses_retracted;
+  clauses_reused += s.clauses_reused;
+  fresh_clauses += s.fresh_clauses;
+  clauses_added += s.clauses_added;
+  for (std::size_t k = 0; k < sat::kNumBackendKinds; ++k) {
+    backends[k].selected += s.backends[k].selected;
+    backends[k].served += s.backends[k].served;
+    backends[k].escalated += s.backends[k].escalated;
+  }
+  ++arenas;
+}
+
 namespace {
 
 void accumulate(EngineStats* stats, const sat::SessionStats& s) {
   if (stats == nullptr) return;
-  stats->cnf_loads += s.cnf_loads;
-  stats->solve_calls += s.solve_calls;
-  stats->models_found += s.models_found;
-  stats->delta_loads += s.delta_loads;
-  stats->clauses_retracted += s.clauses_retracted;
-  stats->clauses_reused += s.clauses_reused;
-  for (std::size_t k = 0; k < sat::kNumBackendKinds; ++k) {
-    stats->backends[k].selected += s.backends[k].selected;
-    stats->backends[k].served += s.backends[k].served;
-    stats->backends[k].escalated += s.backends[k].escalated;
-  }
-  ++stats->arenas;
+  stats->add_arena(s);
 }
 
 }  // namespace
@@ -335,6 +342,32 @@ std::map<topo::AsId, std::set<censor::Anomaly>> CensorSupport::anomalies(
     for (const auto& [url, anomaly] : evidence) out[as].insert(anomaly);
   }
   return out;
+}
+
+void CensorSupport::save(util::ByteWriter& w) const {
+  util::save_map(
+      w, support_, [](util::ByteWriter& w, topo::AsId as) { w.i32(as); },
+      [](util::ByteWriter& w, const std::set<std::pair<std::int32_t, censor::Anomaly>>& ev) {
+        util::save_set(w, ev,
+                       [](util::ByteWriter& w, const std::pair<std::int32_t, censor::Anomaly>& e) {
+                         w.i32(e.first);
+                         w.u8(static_cast<std::uint8_t>(e.second));
+                       });
+      });
+}
+
+void CensorSupport::load(util::ByteReader& r) {
+  util::load_map(
+      r, support_, [](util::ByteReader& r) { return topo::AsId{r.i32()}; },
+      [](util::ByteReader& r) {
+        std::set<std::pair<std::int32_t, censor::Anomaly>> ev;
+        util::load_set(r, ev, [](util::ByteReader& r) {
+          const std::int32_t url = r.i32();
+          const auto anomaly = static_cast<censor::Anomaly>(r.u8());
+          return std::make_pair(url, anomaly);
+        });
+        return ev;
+      });
 }
 
 std::vector<topo::AsId> identified_censors(const std::vector<CnfVerdict>& verdicts,

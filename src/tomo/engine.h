@@ -107,11 +107,30 @@ struct EngineStats {
   std::uint64_t delta_loads = 0;
   std::uint64_t clauses_retracted = 0;
   std::uint64_t clauses_reused = 0;
+  /// Clause conservation (see sat::SessionStats): fresh_clauses +
+  /// clauses_reused + clauses_added == sum of |cnf.clauses| over the
+  /// analyzed batch, for every execution mode — the equivalence suites
+  /// cross-check the delta counters through this identity.
+  std::uint64_t fresh_clauses = 0;
+  std::uint64_t clauses_added = 0;
   unsigned arenas = 0;  // worker sessions used
+  /// LiveReport snapshot-server counters (analysis::LiveReportServer,
+  /// monitor runs only): snapshots published, reader snapshot() calls,
+  /// calls that observed a snapshot older than the latest published
+  /// watermark, and the peak number of concurrently attached readers.
+  std::uint64_t snapshots_published = 0;
+  std::uint64_t snapshot_reads = 0;
+  std::uint64_t snapshot_stale_reads = 0;
+  std::uint64_t snapshot_peak_readers = 0;
   /// Per-backend selected/served/escalated counts, indexed by
   /// sat::BackendKind; sum of `selected` (and of `served`) equals
   /// cnf_loads + delta_loads.
   std::array<sat::BackendCounters, sat::kNumBackendKinds> backends{};
+
+  /// Sums one arena's cumulative SessionStats into these counters and
+  /// bumps `arenas` — the one aggregation path shared by analyze_cnfs,
+  /// the streaming analyzer, and the resident monitor.
+  void add_arena(const sat::SessionStats& s);
 };
 
 /// Per-worker session arena: reusable SolverSessions, loaded once per
@@ -273,6 +292,10 @@ class CensorSupport {
   /// to `within` — the Table-2 anomaly column.
   std::map<topo::AsId, std::set<censor::Anomaly>> anomalies(
       const std::set<topo::AsId>& within) const;
+
+  /// Checkpoint support (analysis/checkpoint.h).
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
  private:
   /// Support = distinct (URL, anomaly) pairs with a unique-solution CNF

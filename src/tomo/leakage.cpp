@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/serde.h"
+
 namespace ct::tomo {
 
 std::int32_t LeakageReport::censors_leaking_to_ases() const {
@@ -25,6 +27,24 @@ void LeakageFold::add(const TomoCnf& cnf, const CnfVerdict& verdict) {
   evidence.paths.reserve(cnf.positive_paths.size());
   for (const auto& path : cnf.positive_paths) evidence.paths.push_back(paths_.intern(path));
   evidence_.push_back(std::move(evidence));
+}
+
+void LeakageFold::save(util::ByteWriter& w) const {
+  paths_.save(w);
+  util::save_vec(w, evidence_, [](util::ByteWriter& w, const Evidence& e) {
+    util::save_vec(w, e.censors, [](util::ByteWriter& w, topo::AsId as) { w.i32(as); });
+    util::save_vec(w, e.paths, [](util::ByteWriter& w, PathPool::PathId id) { w.i32(id); });
+  });
+}
+
+void LeakageFold::load(util::ByteReader& r) {
+  paths_.load(r);
+  util::load_vec(r, evidence_, [](util::ByteReader& r) {
+    Evidence e;
+    util::load_vec(r, e.censors, [](util::ByteReader& r) { return topo::AsId{r.i32()}; });
+    util::load_vec(r, e.paths, [](util::ByteReader& r) { return PathPool::PathId{r.i32()}; });
+    return e;
+  });
 }
 
 LeakageReport LeakageFold::finalize(const topo::AsGraph& graph,

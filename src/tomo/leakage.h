@@ -65,6 +65,11 @@ class LeakageFold {
 
   std::size_t evidence_count() const { return evidence_.size(); }
 
+  /// Checkpoint support (analysis/checkpoint.h): persists the private
+  /// path pool and the evidence list.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
+
  private:
   struct Evidence {
     std::vector<topo::AsId> censors;            // the verdict's exact censors

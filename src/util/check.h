@@ -1,0 +1,27 @@
+// Debug-build invariant checks.
+//
+// CT_DCHECK(cond, msg) aborts with a message when `cond` is false in
+// debug builds (NDEBUG unset) and compiles to nothing in release
+// builds.  It is for invariants that are *supposed* to be unreachable —
+// accounting underflows, broken watermark ordering — where silently
+// continuing would corrupt downstream statistics; recoverable input
+// errors should throw instead.
+#pragma once
+
+#ifndef NDEBUG
+#include <cstdio>
+#include <cstdlib>
+
+#define CT_DCHECK(cond, msg)                                                        \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "CT_DCHECK failed at %s:%d: %s: %s\n", __FILE__,         \
+                   __LINE__, #cond, msg);                                           \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)
+#else
+#define CT_DCHECK(cond, msg) \
+  do {                       \
+  } while (0)
+#endif

@@ -1,0 +1,23 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace ct::util {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+std::optional<bool> parse_bool(std::string_view value) {
+  if (value == "0" || value == "false" || value == "off") return false;
+  if (value == "1" || value == "true" || value == "on") return true;
+  return std::nullopt;
+}
+
+bool env_parse_bool(const char* name, bool fallback) {
+  return env_parse<bool>(name, fallback, parse_bool);
+}
+
+}  // namespace ct::util

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/serde.h"
+
 namespace ct::util {
 
 double mean(const std::vector<double>& xs) {
@@ -76,6 +78,17 @@ double BucketedCounts::fraction(int v) const {
 
 double BucketedCounts::overflow_fraction() const {
   return total_ == 0 ? 0.0 : static_cast<double>(overflow()) / static_cast<double>(total_);
+}
+
+void BucketedCounts::save(ByteWriter& w) const {
+  save_vec(w, counts_, [](ByteWriter& w, std::int64_t c) { w.i64(c); });
+  w.i64(total_);
+}
+
+void BucketedCounts::load(ByteReader& r) {
+  load_vec(r, counts_, [](ByteReader& r) { return r.i64(); });
+  if (counts_.size() < 2) throw SerdeError("BucketedCounts::load: fewer than two buckets");
+  total_ = r.i64();
 }
 
 void LabelCounter::add(const std::string& key, std::int64_t weight) {

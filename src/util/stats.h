@@ -11,6 +11,9 @@
 
 namespace ct::util {
 
+class ByteWriter;  // util/serde.h
+class ByteReader;
+
 /// Mean of a sample; 0 for an empty sample.
 double mean(const std::vector<double>& xs);
 
@@ -55,6 +58,12 @@ class BucketedCounts {
   double fraction(int v) const;
   double overflow_fraction() const;
   int max_exact() const noexcept { return static_cast<int>(counts_.size()) - 2; }
+
+  /// Checkpoint support (analysis/checkpoint.h): save() emits geometry
+  /// plus every bucket; load() replaces the histogram wholesale,
+  /// including its bucket count.
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
 
  private:
   std::vector<std::int64_t> counts_;  // [0..max_exact] + overflow

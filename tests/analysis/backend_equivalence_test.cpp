@@ -44,6 +44,19 @@ std::uint64_t sum_served(const tomo::EngineStats& stats) {
   return total;
 }
 
+/// Clause conservation: however a load was served — fresh, or delta
+/// with some clauses reused and some added — every clause of every
+/// analyzed CNF is accounted for exactly once.
+std::uint64_t clauses_accounted(const tomo::EngineStats& stats) {
+  return stats.fresh_clauses + stats.clauses_reused + stats.clauses_added;
+}
+
+std::uint64_t total_clause_volume(const std::vector<tomo::TomoCnf>& cnfs) {
+  std::uint64_t total = 0;
+  for (const tomo::TomoCnf& tc : cnfs) total += tc.cnf.clauses.size();
+  return total;
+}
+
 TEST(BackendEquivalence, VerdictsByteIdenticalAcrossBackends) {
   for (const std::uint64_t seed : {20170623ULL, 20170624ULL, 20170625ULL}) {
     SCOPED_TRACE("seed=" + std::to_string(seed));
@@ -83,6 +96,12 @@ TEST(BackendEquivalence, VerdictsByteIdenticalAcrossBackends) {
         EXPECT_EQ(loads, cnfs.size());
         EXPECT_EQ(sum_selected(stats), loads);
         EXPECT_EQ(sum_served(stats), loads);
+        // The delta aggregation audit: the fresh/reused/added split
+        // varies with the backend mix and chain luck, but the sum must
+        // equal the batch's exact clause volume in every mode.
+        EXPECT_EQ(clauses_accounted(stats), total_clause_volume(cnfs));
+        EXPECT_LE(stats.clauses_reused + stats.clauses_added,
+                  stats.delta_loads == 0 ? 0u : clauses_accounted(stats));
         if (!options.delta.enabled) {
           EXPECT_EQ(stats.delta_loads, 0u) << "CT_SAT_DELTA=0 must force fresh loads";
         }
@@ -150,6 +169,9 @@ void expect_results_equal(const ExperimentResult& a, const ExperimentResult& b) 
   // backend and however it was loaded).
   EXPECT_EQ(a.engine_stats.cnf_loads + a.engine_stats.delta_loads,
             b.engine_stats.cnf_loads + b.engine_stats.delta_loads);
+  // ...and so must the conserved clause volume: the same CNFs were
+  // loaded, whatever mix of fresh and delta loads served them.
+  EXPECT_EQ(clauses_accounted(a.engine_stats), clauses_accounted(b.engine_stats));
 }
 
 TEST(BackendEquivalence, RunExperimentAcrossBackendsShardsStreaming) {

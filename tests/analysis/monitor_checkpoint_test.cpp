@@ -1,0 +1,306 @@
+// Crash-safety suite for the resident monitor (README "Resident
+// monitor & checkpoints").
+//
+// The contract under test: MonitorEngine::finalize() reproduces
+// run_experiment()'s report byte for byte (serialize_report() is the
+// oracle), and that byte-identity survives ANY kill/resume sequence —
+// the process may die at arbitrary watermarks, restore the last
+// checkpoint into a freshly constructed monitor (under the same or a
+// *different* execution mode), and still land on the identical report.
+// The fuzz matrix drives 3 seeds x {serial, sharded} x {delta on, off}
+// with random crash points; the envelope tests pin down the refusal
+// behavior (unknown version, bad magic, truncation, trailing bytes,
+// fingerprint mismatch) as clean CheckpointErrors, never UB.
+#include "analysis/monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../support/fuzz_seed.h"
+#include "analysis/checkpoint.h"
+#include "analysis/experiment.h"
+#include "analysis/scenario.h"
+#include "shard_env.h"
+
+namespace ct::analysis {
+namespace {
+
+using test::shard_scenario;
+
+MonitorOptions monitor_options(unsigned shards, bool delta) {
+  MonitorOptions options;
+  options.experiment.num_platform_shards = shards;
+  options.experiment.num_threads = shards == 1 ? 1 : 4;
+  options.experiment.analysis.delta.enabled = delta;
+  options.segment_days = 5;  // several segments per run, partial last one
+  return options;
+}
+
+/// The batch pipeline's canonical report bytes for `config` — the
+/// reference every monitor run must reproduce.
+std::string batch_report(const ScenarioConfig& config) {
+  Scenario scenario(config);
+  ExperimentOptions options;  // default execution mode: the contract
+  return serialize_report(run_experiment(scenario, options));
+}
+
+/// Runs the monitor end to end, dying at each day in `kill_days`: the
+/// in-flight monitor is checkpointed at its quiescent point, destroyed
+/// (everything not in the checkpoint is lost — arenas, pool, groupers),
+/// and a fresh monitor restores the bytes and carries on.  Each resume
+/// may switch execution mode (`resume_options` cycles), which the
+/// fingerprint deliberately permits.
+std::string crashy_report(const ScenarioConfig& config, const MonitorOptions& options,
+                          const std::vector<util::Day>& kill_days,
+                          const std::vector<MonitorOptions>& resume_options) {
+  Scenario scenario(config);
+  auto monitor = std::make_unique<MonitorEngine>(scenario, options);
+  std::size_t resumes = 0;
+  for (const util::Day day : kill_days) {
+    monitor->run_until(day);
+    EXPECT_EQ(monitor->watermark(), day);
+    const std::string bytes = monitor->checkpoint();
+    const MonitorOptions& next =
+        resume_options.empty() ? options : resume_options[resumes++ % resume_options.size()];
+    monitor = std::make_unique<MonitorEngine>(scenario, next);
+    monitor->restore(bytes);
+    EXPECT_EQ(monitor->watermark(), day) << "restore must land on the checkpoint watermark";
+  }
+  return serialize_report(monitor->finalize());
+}
+
+TEST(MonitorEquivalence, FinalizeMatchesBatchExperiment) {
+  const ScenarioConfig config = shard_scenario(11);
+  const std::string expected = batch_report(config);
+
+  Scenario scenario(config);
+  MonitorEngine monitor(scenario, monitor_options(1, true));
+  EXPECT_EQ(serialize_report(monitor.finalize()), expected);
+}
+
+TEST(MonitorEquivalence, ShardedSegmentsMatchBatchExperiment) {
+  const ScenarioConfig config = shard_scenario(12);
+  const std::string expected = batch_report(config);
+
+  Scenario scenario(config);
+  MonitorEngine monitor(scenario, monitor_options(3, true));
+  EXPECT_EQ(serialize_report(monitor.finalize()), expected);
+}
+
+TEST(MonitorCrashResume, FuzzKillAtRandomWatermarksAcrossModes) {
+  const std::uint64_t seed = ct::test::fuzz_seed(20260808);
+  SCOPED_TRACE(ct::test::fuzz_trace(seed));
+  std::mt19937_64 rng(seed);
+
+  for (const std::uint64_t scenario_seed : {21u, 22u, 23u}) {
+    const ScenarioConfig config = shard_scenario(scenario_seed);
+    const std::string expected = batch_report(config);
+    for (const unsigned shards : {1u, 3u}) {
+      for (const bool delta : {true, false}) {
+        SCOPED_TRACE("seed " + std::to_string(scenario_seed) + " shards " +
+                     std::to_string(shards) + " delta " + std::to_string(delta));
+        // 1-3 random crash points, strictly increasing, inside the run.
+        const util::Day days = config.platform.num_days;
+        std::vector<util::Day> kill_days;
+        const int crashes = 1 + static_cast<int>(rng() % 3);
+        for (int i = 0; i < crashes; ++i) {
+          kill_days.push_back(1 + static_cast<util::Day>(rng() % (static_cast<std::uint64_t>(days) - 1)));
+        }
+        std::sort(kill_days.begin(), kill_days.end());
+        kill_days.erase(std::unique(kill_days.begin(), kill_days.end()), kill_days.end());
+        EXPECT_EQ(crashy_report(config, monitor_options(shards, delta), kill_days, {}),
+                  expected);
+      }
+    }
+  }
+}
+
+TEST(MonitorCrashResume, ResumeUnderDifferentExecutionMode) {
+  // A checkpoint written under (serial, delta-on) resumes under
+  // (sharded, delta-off) and back — the fingerprint excludes execution
+  // knobs precisely because verdicts are pure functions of (CNF,
+  // options) across all of them.
+  const ScenarioConfig config = shard_scenario(31);
+  const std::string expected = batch_report(config);
+  EXPECT_EQ(crashy_report(config, monitor_options(1, true), {4, 9, 16},
+                          {monitor_options(3, false), monitor_options(1, false),
+                           monitor_options(3, true)}),
+            expected);
+}
+
+TEST(MonitorCheckpoint, RestoreIsDeterministic) {
+  // Two fresh monitors restoring the same bytes are in identical
+  // persistent state: their own checkpoints match byte for byte, and so
+  // do their final reports.
+  const ScenarioConfig config = shard_scenario(41);
+  Scenario scenario(config);
+  auto first = std::make_unique<MonitorEngine>(scenario, monitor_options(1, true));
+  first->run_until(8);
+  const std::string bytes = first->checkpoint();
+  first.reset();
+
+  MonitorEngine a(scenario, monitor_options(1, true));
+  MonitorEngine b(scenario, monitor_options(1, true));
+  a.restore(bytes);
+  b.restore(bytes);
+  EXPECT_EQ(a.checkpoint(), b.checkpoint());
+  EXPECT_EQ(serialize_report(a.finalize()), serialize_report(b.finalize()));
+}
+
+TEST(MonitorCheckpoint, RestorePublishesSnapshotAndRefusesUsedMonitor) {
+  const ScenarioConfig config = shard_scenario(42);
+  Scenario scenario(config);
+  MonitorEngine source(scenario, monitor_options(1, true));
+  source.run_until(6);
+  const std::string bytes = source.checkpoint();
+
+  MonitorEngine resumed(scenario, monitor_options(1, true));
+  EXPECT_EQ(resumed.reports().snapshot(), nullptr) << "no snapshot before first ingest";
+  resumed.restore(bytes);
+  const auto snapshot = resumed.reports().snapshot();
+  ASSERT_NE(snapshot, nullptr) << "restore must seed readers with a snapshot";
+  EXPECT_EQ(snapshot->watermark, 6);
+  EXPECT_EQ(resumed.reports().published(), 1u);
+
+  // A monitor that already ingested data must refuse to restore — the
+  // result would silently double-count everything before the watermark.
+  EXPECT_THROW(source.restore(bytes), std::logic_error);
+  EXPECT_THROW(resumed.restore(bytes), std::logic_error);
+}
+
+TEST(MonitorCheckpoint, EnvelopeRefusals) {
+  const ScenarioConfig config = shard_scenario(43);
+  Scenario scenario(config);
+  MonitorEngine source(scenario, monitor_options(1, true));
+  source.run_until(6);
+  const std::string bytes = source.checkpoint();
+  const std::uint64_t fingerprint = source.fingerprint();
+
+  // The happy path holds before we start breaking things.
+  EXPECT_EQ(open_checkpoint(bytes, fingerprint).watermark, 6);
+
+  // Envelope layout: magic u32 | version u32 | fingerprint u64 | ...
+  std::string bad_magic = bytes;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x01);
+  EXPECT_THROW(open_checkpoint(bad_magic, fingerprint), CheckpointError);
+
+  // A checkpoint from a future format version must be refused cleanly,
+  // not misparsed — forward compatibility is an explicit error.
+  std::string future_version = bytes;
+  future_version[4] = static_cast<char>(future_version[4] + 1);
+  EXPECT_THROW(open_checkpoint(future_version, fingerprint), CheckpointError);
+
+  // Fingerprint mismatch: a different scenario config may not resume
+  // this checkpoint (restore() checks against its own fingerprint).
+  EXPECT_THROW(open_checkpoint(bytes, fingerprint + 1), CheckpointError);
+  ScenarioConfig other_config = shard_scenario(44);
+  Scenario other_scenario(other_config);
+  MonitorEngine other(other_scenario, monitor_options(1, true));
+  EXPECT_THROW(other.restore(bytes), CheckpointError);
+
+  // Truncation anywhere — inside the header or inside the payload —
+  // and trailing garbage are both refused.
+  EXPECT_THROW(open_checkpoint(bytes.substr(0, 6), fingerprint), CheckpointError);
+  EXPECT_THROW(open_checkpoint(bytes.substr(0, bytes.size() - 3), fingerprint),
+               CheckpointError);
+  EXPECT_THROW(open_checkpoint(bytes + "x", fingerprint), CheckpointError);
+  EXPECT_THROW(open_checkpoint(std::string(), fingerprint), CheckpointError);
+}
+
+TEST(MonitorCheckpoint, FileRoundtripAndMissingFile) {
+  const ScenarioConfig config = shard_scenario(45);
+  Scenario scenario(config);
+  MonitorEngine source(scenario, monitor_options(1, true));
+  source.run_until(6);
+
+  const std::string path = ::testing::TempDir() + "ct_monitor_checkpoint_test.bin";
+  source.checkpoint_to(path);
+  EXPECT_EQ(source.stats().checkpoints_written, 1);
+
+  MonitorEngine resumed(scenario, monitor_options(1, true));
+  resumed.restore_from(path);
+  EXPECT_EQ(resumed.watermark(), 6);
+  std::remove(path.c_str());
+
+  MonitorEngine cold(scenario, monitor_options(1, true));
+  EXPECT_THROW(cold.restore_from(path), CheckpointError) << "missing file is a clean error";
+}
+
+TEST(MonitorMemory, SegmentsDrainToZeroAndGaugeNeverUnderflows) {
+  const ScenarioConfig config = shard_scenario(51);
+  Scenario scenario(config);
+  MonitorEngine monitor(scenario, monitor_options(3, true));
+  monitor.run_all();
+  const MonitorStats stats = monitor.stats();
+  EXPECT_EQ(stats.retained_clauses_now, 0) << "every segment's raw clauses must be freed";
+  EXPECT_EQ(stats.gauge_underflows, 0);
+  EXPECT_GT(stats.retained_clauses_peak, 0);
+  EXPECT_EQ(stats.watermark, config.platform.num_days);
+  EXPECT_GT(stats.segments_ingested, 1);
+}
+
+TEST(MonitorStatsTest, ClauseConservationAcrossResume) {
+  // The per-backend delta accounting must conserve clauses through a
+  // kill/resume: fresh + reused + added over the whole (resumed) run
+  // equals the clause volume the solver actually saw.
+  const ScenarioConfig config = shard_scenario(52);
+  Scenario scenario(config);
+  auto monitor = std::make_unique<MonitorEngine>(scenario, monitor_options(1, true));
+  monitor->run_until(10);
+  const std::string bytes = monitor->checkpoint();
+  monitor = std::make_unique<MonitorEngine>(scenario, monitor_options(1, true));
+  monitor->restore(bytes);
+  const ExperimentResult result = monitor->finalize();
+
+  const tomo::EngineStats& engine = result.engine_stats;
+  EXPECT_GT(engine.cnf_loads, 0u);
+  EXPECT_GT(engine.fresh_clauses + engine.clauses_reused + engine.clauses_added, 0u);
+  // Counters accumulate across the resume: the resumed run's loads
+  // continue from the checkpointed base instead of restarting at zero.
+  MonitorEngine straight(scenario, monitor_options(1, true));
+  const ExperimentResult straight_result = straight.finalize();
+  EXPECT_EQ(engine.cnf_loads, straight_result.engine_stats.cnf_loads);
+  EXPECT_EQ(engine.fresh_clauses + engine.clauses_reused + engine.clauses_added,
+            straight_result.engine_stats.fresh_clauses +
+                straight_result.engine_stats.clauses_reused +
+                straight_result.engine_stats.clauses_added);
+}
+
+TEST(LiveReportServerTest, CountersAndPeakReaders) {
+  LiveReportServer server;
+  EXPECT_EQ(server.snapshot(), nullptr);
+  EXPECT_EQ(server.reads(), 1u);
+  EXPECT_EQ(server.published(), 0u);
+
+  auto report = std::make_shared<LiveReport>();
+  report->watermark = 5;
+  server.publish(std::move(report));
+  EXPECT_EQ(server.published(), 1u);
+  const auto snapshot = server.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->watermark, 5);
+  // Single-threaded reads never race a publish: no stale reads.
+  EXPECT_EQ(server.stale_reads(), 0u);
+
+  EXPECT_EQ(server.peak_readers(), 0u);
+  {
+    LiveReportServer::Reader outer(server);
+    EXPECT_EQ(outer.snapshot()->watermark, 5);
+    {
+      LiveReportServer::Reader inner(server);
+      EXPECT_EQ(server.peak_readers(), 2u);
+    }
+    EXPECT_EQ(server.peak_readers(), 2u) << "peak is a high-water mark";
+  }
+  EXPECT_EQ(server.peak_readers(), 2u);
+  EXPECT_EQ(server.reads(), 3u);
+}
+
+}  // namespace
+}  // namespace ct::analysis

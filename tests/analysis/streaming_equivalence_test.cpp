@@ -8,6 +8,7 @@
 // same CnfVerdict vector.  These tests hold the implementation to that
 // contract across three scenario seeds, serial/2/4-shard ingest, all
 // four granularities, and the full experiment's data products.
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -124,6 +125,13 @@ TEST(StreamingEquivalence, PipelineMatchesBatchAcrossSeedsAndShardCounts) {
       // (fresh or delta — chains may carry solver state across windows).
       EXPECT_EQ(streamed.engine_stats.cnf_loads + streamed.engine_stats.delta_loads,
                 streamed.cnfs.size());
+      // Clause conservation: fresh + reused + added accounts for every
+      // clause of every emitted CNF exactly once, in every shard mode.
+      std::uint64_t clause_volume = 0;
+      for (const tomo::TomoCnf& tc : streamed.cnfs) clause_volume += tc.cnf.clauses.size();
+      EXPECT_EQ(streamed.engine_stats.fresh_clauses + streamed.engine_stats.clauses_reused +
+                    streamed.engine_stats.clauses_added,
+                clause_volume);
     }
   }
 }

@@ -50,9 +50,12 @@ TEST(StreamingMemory, SerialHighWaterMarkIsBoundedByOpenWindowsNotRunLength) {
   // doubling while the stream grew ~3x, and far below the stream itself.
   EXPECT_LE(long_run.peak_retained_clauses, 2 * short_run.peak_retained_clauses);
   EXPECT_LT(long_run.peak_retained_clauses, long_run.total_clauses / 4);
-  // Every clause was retired by the end.
+  // Every clause was retired by the end, and no retire ever outran its
+  // retain (the gauge's underflow clamp never fired).
   EXPECT_EQ(short_run.final_retained_clauses, 0);
   EXPECT_EQ(long_run.final_retained_clauses, 0);
+  EXPECT_EQ(short_run.gauge_underflows, 0);
+  EXPECT_EQ(long_run.gauge_underflows, 0);
 }
 
 TEST(StreamingMemory, ShardedRetirementDrainsAndStaysBelowTheStream) {
@@ -64,6 +67,7 @@ TEST(StreamingMemory, ShardedRetirementDrainsAndStaysBelowTheStream) {
   ASSERT_GT(stats.total_clauses, 0);
   EXPECT_LT(stats.peak_retained_clauses, stats.total_clauses);
   EXPECT_EQ(stats.final_retained_clauses, 0);
+  EXPECT_EQ(stats.gauge_underflows, 0);
 }
 
 TEST(StreamingMemory, RetainModeHoldsTheWholeStream) {
@@ -74,6 +78,7 @@ TEST(StreamingMemory, RetainModeHoldsTheWholeStream) {
   ASSERT_GT(stats.total_clauses, 0);
   EXPECT_EQ(stats.peak_retained_clauses, stats.total_clauses);
   EXPECT_EQ(stats.final_retained_clauses, stats.total_clauses);
+  EXPECT_EQ(stats.gauge_underflows, 0);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "sat/session.h"
+#include "util/env.h"
 
 namespace ct::sat {
 namespace {
@@ -183,8 +184,12 @@ TEST(BackendSelector, ParseAndEnv) {
 
   ASSERT_EQ(setenv("CT_SAT_BACKEND", "count", 1), 0);
   EXPECT_EQ(BackendSelector::from_env().mode, BackendSelector::Mode::kCount);
+  // A typo'd value must fail fast, not silently fall back to auto (the
+  // run would test the wrong configuration while passing).
   ASSERT_EQ(setenv("CT_SAT_BACKEND", "bogus", 1), 0);
-  EXPECT_EQ(BackendSelector::from_env().mode, BackendSelector::Mode::kAuto);
+  EXPECT_THROW(BackendSelector::from_env(), ct::util::EnvParseError);
+  ASSERT_EQ(setenv("CT_SAT_BACKEND", "", 1), 0);
+  EXPECT_THROW(BackendSelector::from_env(), ct::util::EnvParseError);
   unsetenv("CT_SAT_BACKEND");
   EXPECT_EQ(BackendSelector::from_env().mode, BackendSelector::Mode::kAuto);
 }

@@ -17,8 +17,10 @@
 //     CT_SAT_DELTA=0.
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <random>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -26,6 +28,7 @@
 #include "../support/fuzz_seed.h"
 #include "sat/backend.h"
 #include "sat/session.h"
+#include "util/env.h"
 #include "util/rng.h"
 
 namespace ct::sat {
@@ -382,12 +385,26 @@ TEST(DeltaChain, DisabledPolicyAlwaysLoadsFresh) {
 
 TEST(DeltaChain, PolicyFromEnvReadsCtSatDelta) {
   EXPECT_TRUE(DeltaPolicy{}.enabled) << "delta loading defaults on";
-  const DeltaPolicy policy = DeltaPolicy::from_env();
-  const char* env = std::getenv("CT_SAT_DELTA");
-  if (env != nullptr) {
-    EXPECT_EQ(policy.enabled, std::strtoul(env, nullptr, 10) != 0);
+  // Preserve whatever the harness set (CI runs the suite under both
+  // values), then exercise the strict parser explicitly.
+  const char* old = std::getenv("CT_SAT_DELTA");
+  const std::string saved = old == nullptr ? "" : old;
+
+  ASSERT_EQ(setenv("CT_SAT_DELTA", "0", 1), 0);
+  EXPECT_FALSE(DeltaPolicy::from_env().enabled);
+  ASSERT_EQ(setenv("CT_SAT_DELTA", "on", 1), 0);
+  EXPECT_TRUE(DeltaPolicy::from_env().enabled);
+  // strtoul-style parsing used to read any non-numeric value as 0 —
+  // a typo'd CT_SAT_DELTA silently disabled delta loading.  Now it
+  // fails fast instead of testing the wrong configuration.
+  ASSERT_EQ(setenv("CT_SAT_DELTA", "noo", 1), 0);
+  EXPECT_THROW(DeltaPolicy::from_env(), ct::util::EnvParseError);
+
+  if (old == nullptr) {
+    unsetenv("CT_SAT_DELTA");
+    EXPECT_TRUE(DeltaPolicy::from_env().enabled);
   } else {
-    EXPECT_TRUE(policy.enabled);
+    ASSERT_EQ(setenv("CT_SAT_DELTA", saved.c_str(), 1), 0);
   }
 }
 
