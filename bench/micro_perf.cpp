@@ -18,6 +18,7 @@
 #include "sat/backend.h"
 #include "sat/counter.h"
 #include "sat/enumerate.h"
+#include "sat/portfolio.h"
 #include "sat/session.h"
 #include "sat/solver.h"
 #include "tomo/clause.h"
@@ -240,6 +241,15 @@ void BM_BackendMix(benchmark::State& state, sat::BackendSelector::Mode mode) {
   }
   state.counters["escalated"] = static_cast<double>(
       stats.backends[static_cast<std::size_t>(sat::BackendKind::kUnitProp)].escalated);
+  // Racing counters (zero unless the portfolio served CNFs): how often
+  // races engaged, which fraction each member won, and the wasted-work
+  // ratio the first-wins protocol pays for its tail latency win.
+  state.counters["races"] = static_cast<double>(stats.portfolio.races);
+  state.counters["probe_decided"] = static_cast<double>(stats.portfolio.probe_decided);
+  const double races_won = static_cast<double>(stats.portfolio.races_won_total());
+  state.counters["race_win_rate_m0"] =
+      races_won == 0.0 ? 0.0 : static_cast<double>(stats.portfolio.won[0]) / races_won;
+  state.counters["wasted_ratio"] = stats.portfolio.wasted_ratio();
 }
 BENCHMARK_CAPTURE(BM_BackendMix, auto, sat::BackendSelector::Mode::kAuto)
     ->Unit(benchmark::kMillisecond);
@@ -249,6 +259,97 @@ BENCHMARK_CAPTURE(BM_BackendMix, count, sat::BackendSelector::Mode::kCount)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_BackendMix, unitprop, sat::BackendSelector::Mode::kUnitProp)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BackendMix, ipasir, sat::BackendSelector::Mode::kIpasir)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BackendMix, portfolio, sat::BackendSelector::Mode::kPortfolio)
+    ->Unit(benchmark::kMillisecond);
+
+/// Random 3-SAT conditioned on a polarity-skewed satisfying assignment
+/// (uniform clauses, rejecting any the plant falsifies).  This is the
+/// shape of a hard tomography window: a strongly skewed backbone (most
+/// variables pinned one way — few censors — with the skew direction
+/// varying by window), satisfiable, and murder for a solver whose
+/// initial polarity points the wrong way.
+sat::Cnf skewed_3sat_bench(int num_vars, int num_clauses, double true_bias,
+                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<bool> plant(static_cast<std::size_t>(num_vars));
+  for (auto&& bit : plant) bit = rng.bernoulli(true_bias);
+  sat::Cnf cnf;
+  cnf.num_vars = num_vars;
+  int made = 0;
+  while (made < num_clauses) {
+    std::vector<sat::Lit> clause;
+    while (clause.size() < 3) {
+      const auto v =
+          static_cast<sat::Var>(rng.index(static_cast<std::size_t>(num_vars)));
+      bool dup = false;
+      for (const sat::Lit l : clause) dup = dup || l.var() == v;
+      if (!dup) clause.emplace_back(v, rng.bernoulli(0.5));
+    }
+    bool satisfied = false;
+    for (const sat::Lit l : clause) satisfied = satisfied || (plant[l.var()] != l.negated());
+    if (!satisfied) continue;  // keep the plant a model
+    cnf.add_clause(std::move(clause));
+    ++made;
+  }
+  return cnf;
+}
+
+// The portfolio's target regime: the hard satisfiable tail, where
+// *which* configuration draws the long search varies per instance.  On
+// a skewed-backbone instance the polarity-aligned member answers in a
+// handful of conflicts while the misaligned one burns thousands — and
+// the skew direction flips per instance, so no fixed configuration is
+// ever right twice in a row.  First-wins racing pays sum(width x min
+// over members) against the fixed config's sum(member 0), which wins
+// even on ONE core (a tail-variance win, not a parallelism win; on
+// idle multi-core hardware the racers overlap and the margin grows).
+// Arg = racing width; width 1 is exactly the member-0 CDCL
+// configuration, i.e. the no-portfolio baseline.  The cancel_ms_max
+// counter is the cancellation-latency proof: losers stop within one
+// restart period of the winner's claim, not at their own pace.
+void BM_Portfolio(benchmark::State& state) {
+  static const std::vector<sat::Cnf>* cnfs = [] {
+    auto* hard = new std::vector<sat::Cnf>();
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+      const double bias = (seed % 2 == 0) ? 0.95 : 0.05;
+      hard->push_back(skewed_3sat_bench(250, 1600, bias, 7000 + seed));
+    }
+    return hard;
+  }();
+  const auto width = static_cast<unsigned>(state.range(0));
+  // Fresh backend per window: each hard window is an independent race
+  // (saved phases from the previous window would otherwise override
+  // every member's configured init_polarity and collapse the
+  // diversification the race exists to exploit).
+  sat::PortfolioStats stats;
+  for (auto _ : state) {
+    for (const sat::Cnf& cnf : *cnfs) {
+      sat::PortfolioBackend backend(width);
+      backend.set_probe_budget(0);  // every solve races: the tail is the workload
+      backend.load(cnf);
+      benchmark::DoNotOptimize(backend.solve({}));
+      stats += backend.portfolio_stats();
+    }
+  }
+  state.counters["width"] = static_cast<double>(width);
+  state.counters["cnfs"] = static_cast<double>(cnfs->size());
+  state.counters["races"] = static_cast<double>(stats.races);
+  const double races_won = static_cast<double>(stats.races_won_total());
+  for (unsigned m = 0; m < width && width > 1; ++m) {
+    state.counters["win_rate_m" + std::to_string(m)] =
+        races_won == 0.0 ? 0.0 : static_cast<double>(stats.won[m]) / races_won;
+  }
+  state.counters["wasted_ratio"] = stats.wasted_ratio();
+  state.counters["cancels"] = static_cast<double>(stats.cancels);
+  state.counters["cancel_ms_max"] = static_cast<double>(stats.cancel_ns_max) / 1e6;
+  state.counters["cancel_ms_avg"] =
+      stats.cancels == 0 ? 0.0
+                         : static_cast<double>(stats.cancel_ns_total) /
+                               (1e6 * static_cast<double>(stats.cancels));
+}
+BENCHMARK(BM_Portfolio)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 
 /// One (URL, anomaly) chain of adjacent window CNFs: a stable dense
 /// core (the backbone constraints a long-lived anomaly keeps inducing

@@ -180,7 +180,12 @@ int main(int argc, char** argv) {
               << "  open-windows " << stats.open_main_windows << "+"
               << stats.open_ablation_windows << "  churn-open " << stats.churn_open_entries
               << "  retained-peak " << stats.retained_clauses_peak << "  reads "
-              << stats.engine.snapshot_reads << "\n";
+              << stats.engine.snapshot_reads;
+    if (stats.engine.portfolio.races > 0) {
+      std::cout << "  races " << stats.engine.portfolio.races << " (wasted "
+                << static_cast<int>(100.0 * stats.engine.portfolio.wasted_ratio()) << "%)";
+    }
+    std::cout << "\n";
     if (pace_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
   }
 
@@ -205,7 +210,8 @@ int main(int argc, char** argv) {
             << stats.retained_clauses_now << ", underflows " << stats.gauge_underflows
             << "\n";
   std::cout << ct::analysis::render_headline(result)
-            << ct::analysis::render_score(result, scenario);
+            << ct::analysis::render_score(result, scenario)
+            << ct::analysis::render_backends(result);
 
   bool ok = !reader_failed.load();
   if (!ok) std::cerr << "FAIL: a reader observed a watermark regression\n";

@@ -45,7 +45,10 @@ class CheckpointError : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x43544350u;  // "CTCP"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: EngineStats grew the ipasir/portfolio backend counters and the
+// portfolio racing block — the byte layout changed, so v1 checkpoints
+// are refused instead of misread.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Hash of everything that determines the run's results (see header
 /// comment for what is deliberately excluded).

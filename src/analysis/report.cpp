@@ -283,6 +283,17 @@ std::string render_backends(const ExperimentResult& result) {
       << fmt_count(static_cast<std::int64_t>(stats.fresh_clauses + stats.clauses_reused +
                                              stats.clauses_added))
       << "\n";
+  // Portfolio racing (README "Portfolio racing"): races run on hard
+  // CNFs, wins per diversified member, and the cost of losing searches.
+  const sat::PortfolioStats& p = stats.portfolio;
+  out << "  races: " << fmt_count(static_cast<std::int64_t>(p.races)) << " (probe decided "
+      << fmt_count(static_cast<std::int64_t>(p.probe_decided)) << ")   won by member:";
+  for (std::size_t m = 0; m < p.won.size(); ++m) {
+    out << (m == 0 ? " " : "/") << p.won[m];
+  }
+  out << "   wasted conflicts: " << fmt_count(static_cast<std::int64_t>(p.wasted_conflicts))
+      << " (" << fmt(100.0 * p.wasted_ratio(), 1) << "% of race work)   max cancel latency: "
+      << fmt(static_cast<double>(p.cancel_ns_max) / 1e6, 2) << " ms\n";
   return out.str();
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sat/ipasir_shim.h"
+#include "sat/portfolio.h"
 #include "util/env.h"
 
 namespace ct::sat {
@@ -16,6 +18,10 @@ const char* to_string(BackendKind kind) {
       return "count";
     case BackendKind::kUnitProp:
       return "unitprop";
+    case BackendKind::kIpasir:
+      return "ipasir";
+    case BackendKind::kPortfolio:
+      return "portfolio";
   }
   return "?";
 }
@@ -96,7 +102,9 @@ const SolverStats& SolverBackend::solver_stats() const {
 // --- CdclBackend -----------------------------------------------------
 
 void CdclBackend::load(const Cnf& cnf) {
-  solver_ = std::make_unique<Solver>();
+  solver_ = std::make_unique<Solver>(config_);
+  solver_->set_stop_flag(stop_);
+  solver_->set_conflict_budget(conflict_budget_);
   guarded_ = false;
   guard_base_ = 0;
   selectors_.clear();
@@ -106,7 +114,9 @@ void CdclBackend::load(const Cnf& cnf) {
 }
 
 void CdclBackend::load_retractable(const Cnf& cnf) {
-  solver_ = std::make_unique<Solver>();
+  solver_ = std::make_unique<Solver>(config_);
+  solver_->set_stop_flag(stop_);
+  solver_->set_conflict_budget(conflict_budget_);
   guarded_ = true;
   guard_base_ = cnf.num_vars + kGuardHeadroom;
   selectors_.clear();
@@ -177,6 +187,16 @@ bool CdclBackend::retract_activation(Var a) { return solver_->retract_activation
 const SolverStats& CdclBackend::solver_stats() const {
   static const SolverStats kUnloaded{};
   return solver_ ? solver_->stats() : kUnloaded;
+}
+
+void CdclBackend::set_stop_flag(const std::atomic<bool>* stop) {
+  stop_ = stop;
+  if (solver_) solver_->set_stop_flag(stop);
+}
+
+void CdclBackend::set_conflict_budget(std::uint64_t max_conflicts) {
+  conflict_budget_ = max_conflicts;
+  if (solver_) solver_->set_conflict_budget(max_conflicts);
 }
 
 // --- CountingBackend -------------------------------------------------
@@ -263,6 +283,10 @@ std::unique_ptr<SolverBackend> make_backend(BackendKind kind) {
       return std::make_unique<CountingBackend>();
     case BackendKind::kUnitProp:
       return std::make_unique<UnitPropBackend>();
+    case BackendKind::kIpasir:
+      return std::make_unique<IpasirBackend>();
+    case BackendKind::kPortfolio:
+      return std::make_unique<PortfolioBackend>();
   }
   throw std::invalid_argument("make_backend: unknown BackendKind");
 }
@@ -279,6 +303,17 @@ FormulaShape shape_of(const Cnf& cnf) {
   return shape;
 }
 
+unsigned BackendSelector::racing_width() const {
+  if (mode == Mode::kPortfolio) {
+    return std::max(kDefaultPortfolioWidth,
+                    std::min(portfolio_width, kMaxPortfolioWidth));
+  }
+  if (mode == Mode::kAuto && portfolio_width >= 2) {
+    return std::min(portfolio_width, kMaxPortfolioWidth);
+  }
+  return 1;
+}
+
 BackendPlan BackendSelector::plan(const FormulaShape& shape,
                                   const BackendWorkload& workload) const {
   BackendPlan p;
@@ -290,6 +325,13 @@ BackendPlan BackendSelector::plan(const FormulaShape& shape,
       return p;
     case Mode::kUnitProp:
       p.primary = BackendKind::kUnitProp;  // fallback stays cdcl
+      return p;
+    case Mode::kIpasir:
+      p.primary = p.fallback = BackendKind::kIpasir;
+      return p;
+    case Mode::kPortfolio:
+      p.primary = BackendKind::kPortfolio;  // fallback stays cdcl
+      p.portfolio_width = racing_width();
       return p;
     case Mode::kAuto:
       break;
@@ -307,6 +349,19 @@ BackendPlan BackendSelector::plan(const FormulaShape& shape,
   const bool unit_rich = shape.unit_fraction() >= unitprop_min_unit_fraction;
   const bool tiny = shape.num_vars <= unitprop_max_vars;
   p.primary = (unit_rich || tiny) ? BackendKind::kUnitProp : p.fallback;
+  // Portfolio hardness gate: only CNFs the plain CDCL route would get
+  // anyway, of racing-worthy size, in the density band where CDCL time
+  // explodes, and not unit-dominated.  Easy survivors of this shape
+  // test are caught by the conflict-budget probe inside the portfolio
+  // itself — so a misjudged gate costs one cheap probe, never a race.
+  if (p.primary == BackendKind::kCdcl && racing_width() >= 2 &&
+      shape.num_vars >= portfolio_min_vars &&
+      shape.density() >= portfolio_min_density &&
+      shape.density() <= portfolio_max_density &&
+      shape.unit_fraction() <= portfolio_max_unit_fraction) {
+    p.primary = BackendKind::kPortfolio;
+    p.portfolio_width = racing_width();
+  }
   return p;
 }
 
@@ -315,6 +370,8 @@ std::optional<BackendSelector::Mode> BackendSelector::parse(std::string_view nam
   if (name == "cdcl") return Mode::kCdcl;
   if (name == "count") return Mode::kCount;
   if (name == "unitprop") return Mode::kUnitProp;
+  if (name == "ipasir") return Mode::kIpasir;
+  if (name == "portfolio") return Mode::kPortfolio;
   return std::nullopt;
 }
 
@@ -328,6 +385,10 @@ const char* BackendSelector::to_string(Mode mode) {
       return "count";
     case Mode::kUnitProp:
       return "unitprop";
+    case Mode::kIpasir:
+      return "ipasir";
+    case Mode::kPortfolio:
+      return "portfolio";
   }
   return "?";
 }
@@ -336,7 +397,20 @@ BackendSelector BackendSelector::from_env() {
   BackendSelector selector;
   // Fail fast on an unrecognized value (see DeltaPolicy::from_env): a
   // misspelled backend name used to silently run auto selection.
-  selector.mode = util::env_parse<Mode>("CT_SAT_BACKEND", selector.mode, parse);
+  selector.mode = util::env_parse<Mode>("CT_SAT_BACKEND", selector.mode, parse,
+                                        "auto, cdcl, count, unitprop, ipasir, portfolio");
+  const bool racing = util::env_parse_bool("CT_SAT_PORTFOLIO", false);
+  const unsigned width = util::env_parse<unsigned>(
+      "CT_SAT_PORTFOLIO_WIDTH", kDefaultPortfolioWidth,
+      [](std::string_view value) -> std::optional<unsigned> {
+        if (value.size() != 1 || value[0] < '2' ||
+            value[0] > static_cast<char>('0' + kMaxPortfolioWidth)) {
+          return std::nullopt;
+        }
+        return static_cast<unsigned>(value[0] - '0');
+      },
+      "2..4");
+  if (racing) selector.portfolio_width = width;
   return selector;
 }
 

@@ -46,8 +46,24 @@
 
 namespace ct::sat {
 
-enum class BackendKind : std::uint8_t { kCdcl = 0, kCount = 1, kUnitProp = 2 };
-inline constexpr std::size_t kNumBackendKinds = 3;
+enum class BackendKind : std::uint8_t {
+  kCdcl = 0,
+  kCount = 1,
+  kUnitProp = 2,
+  /// CdclBackend routed through the IPASIR-style flat-C shim
+  /// (sat/ipasir_shim.h) — in-tree proof of the external-solver seam.
+  kIpasir = 3,
+  /// Races diversified CDCL configurations on hard CNFs; first
+  /// completed answer wins (sat/portfolio.h).
+  kPortfolio = 4,
+};
+inline constexpr std::size_t kNumBackendKinds = 5;
+
+/// Largest portfolio width a plan may request (racer slots are
+/// statically sized to this).
+inline constexpr unsigned kMaxPortfolioWidth = 4;
+/// Width used when racing is enabled without an explicit width.
+inline constexpr unsigned kDefaultPortfolioWidth = 2;
 
 const char* to_string(BackendKind kind);
 
@@ -191,6 +207,11 @@ class SolverBackend {
 /// the models of the current CNF.
 class CdclBackend : public SolverBackend {
  public:
+  CdclBackend() = default;
+  /// Diversified instance: every Solver this backend builds uses
+  /// `config` (restart/polarity/decay seeds — the portfolio members).
+  explicit CdclBackend(const SolverConfig& config) : config_(config) {}
+
   BackendKind kind() const override { return BackendKind::kCdcl; }
   void load(const Cnf& cnf) override;
   bool supports_delta() const override { return true; }
@@ -203,10 +224,22 @@ class CdclBackend : public SolverBackend {
   bool retract_activation(Var a) override;
   const SolverStats& solver_stats() const override;
 
+  /// Cooperative cancellation (Solver::set_stop_flag), surviving
+  /// load(): the portfolio arbiter points every racing member at its
+  /// own flag once and raises it when another member wins.
+  void set_stop_flag(const std::atomic<bool>* stop);
+  /// Per-solve conflict budget (Solver::set_conflict_budget), surviving
+  /// load(); 0 disables.  The portfolio's hardness probe runs member 0
+  /// under a small budget before deciding to race.
+  void set_conflict_budget(std::uint64_t max_conflicts);
+
  private:
   /// Adds one guarded problem clause under a fresh selector.
   void add_guarded(const std::vector<Lit>& clause);
 
+  SolverConfig config_;
+  const std::atomic<bool>* stop_ = nullptr;
+  std::uint64_t conflict_budget_ = 0;
   std::unique_ptr<Solver> solver_;  // rebuilt per load; Solver is not movable
   // Retractable-load state (empty/false after a plain load()).
   bool guarded_ = false;
@@ -287,6 +320,9 @@ struct BackendWorkload {
 struct BackendPlan {
   BackendKind primary = BackendKind::kCdcl;
   BackendKind fallback = BackendKind::kCdcl;
+  /// Racing members when primary == kPortfolio (README "Portfolio
+  /// racing"); 0 otherwise.
+  unsigned portfolio_width = 0;
 };
 
 /// Per-CNF backend selection policy.  Mode kAuto picks by formula
@@ -294,7 +330,7 @@ struct BackendPlan {
 /// (verdicts are byte-identical either way — forcing is for tests,
 /// benchmarks, and CT_SAT_BACKEND).
 struct BackendSelector {
-  enum class Mode : std::uint8_t { kAuto = 0, kCdcl, kCount, kUnitProp };
+  enum class Mode : std::uint8_t { kAuto = 0, kCdcl, kCount, kUnitProp, kIpasir, kPortfolio };
 
   Mode mode = Mode::kAuto;
   /// Auto tries the unit-prop fast path when at least this fraction of
@@ -314,14 +350,40 @@ struct BackendSelector {
   /// dense formulas where enumeration-to-cap stays cheap.
   double count_max_density = 2.0;
 
+  /// Portfolio racing (README "Portfolio racing").  0/1 disables the
+  /// gate; >= 2 lets auto mode route *hard* CDCL-bound CNFs to the
+  /// portfolio, and forced kPortfolio mode race every CNF.  Verdicts
+  /// are byte-identical either way — racing only changes which
+  /// diversified search finds the (semantically unique) answer first.
+  unsigned portfolio_width = 0;
+  /// The hardness gate: CNFs the CDCL route would get anyway, big
+  /// enough and in the clause/var density band where search time
+  /// explodes (random 3-SAT threshold ~4.3), and not unit-dominated
+  /// (unit-rich tomography windows are decided nearly instantly).  A
+  /// conflict-budget probe inside PortfolioBackend catches the easy
+  /// survivors of this shape test before any race starts.
+  std::int32_t portfolio_min_vars = 40;
+  double portfolio_min_density = 3.0;
+  double portfolio_max_density = 5.5;
+  double portfolio_max_unit_fraction = 0.25;
+
+  /// Members a race would run: >= 2 when racing can engage (auto mode
+  /// with portfolio_width set, or forced kPortfolio mode), else 1.
+  /// Thread-budget rule: engines divide their worker count by this so
+  /// workers x width never oversubscribes the pool budget.
+  unsigned racing_width() const;
+
   BackendPlan plan(const FormulaShape& shape, const BackendWorkload& workload) const;
 
   static std::optional<Mode> parse(std::string_view name);
   static const char* to_string(Mode mode);
   /// Selector with `mode` forced by the CT_SAT_BACKEND environment
-  /// variable ({auto, cdcl, count, unitprop}) when set; default (auto)
-  /// when unset.  Any other value throws util::EnvParseError — a typo
-  /// must not silently run auto selection.
+  /// variable ({auto, cdcl, count, unitprop, ipasir, portfolio}) when
+  /// set, and portfolio racing by CT_SAT_PORTFOLIO (0/1) with an
+  /// optional CT_SAT_PORTFOLIO_WIDTH (2..kMaxPortfolioWidth); defaults
+  /// (auto, racing off) otherwise.  Any other value throws
+  /// util::EnvParseError — a typo must not silently run the wrong
+  /// configuration.
   static BackendSelector from_env();
 };
 

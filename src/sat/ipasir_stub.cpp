@@ -1,0 +1,89 @@
+// Stand-in external IPASIR solver for -DCT_WITH_IPASIR_EXT builds that
+// have no real solver to link (CI's ipasir-ext leg).  Implements the
+// ipasir_* surface over the in-tree CDCL core, so the ct_sat_* -> ipasir_*
+// forwarding seam links and the whole sat suite runs through it.  Point
+// CT_IPASIR_EXT_LIB at a real IPASIR library to link that instead.
+#include <vector>
+
+#include "sat/backend.h"
+
+namespace {
+
+using ct::sat::CdclBackend;
+using ct::sat::Cnf;
+using ct::sat::LBool;
+using ct::sat::Lit;
+using ct::sat::SolveResult;
+using ct::sat::Var;
+
+struct StubSolver {
+  StubSolver() { backend.load(Cnf{}); }
+
+  Lit lit_of(int dimacs_lit) {
+    const int v = dimacs_lit < 0 ? -dimacs_lit : dimacs_lit;
+    while (num_vars < v) {
+      backend.new_var();
+      ++num_vars;
+    }
+    return Lit(static_cast<Var>(v - 1), /*negated=*/dimacs_lit < 0);
+  }
+
+  CdclBackend backend;
+  int num_vars = 0;
+  std::vector<Lit> clause;
+  std::vector<Lit> assumptions;
+};
+
+StubSolver* stub(void* solver) { return static_cast<StubSolver*>(solver); }
+
+}  // namespace
+
+extern "C" {
+
+const char* ipasir_signature(void) { return "ct-cdcl (ipasir stub)"; }
+
+void* ipasir_init(void) { return new StubSolver(); }
+
+void ipasir_release(void* solver) { delete stub(solver); }
+
+void ipasir_add(void* solver, int lit_or_zero) {
+  StubSolver* s = stub(solver);
+  if (lit_or_zero != 0) {
+    s->clause.push_back(s->lit_of(lit_or_zero));
+    return;
+  }
+  s->backend.add_clause(s->clause);
+  s->clause.clear();
+}
+
+void ipasir_assume(void* solver, int lit) {
+  StubSolver* s = stub(solver);
+  s->assumptions.push_back(s->lit_of(lit));
+}
+
+int ipasir_solve(void* solver) {
+  StubSolver* s = stub(solver);
+  const SolveResult result = s->backend.solve(s->assumptions);
+  s->assumptions.clear();
+  switch (result) {
+    case SolveResult::kSat:
+      return 10;
+    case SolveResult::kUnsat:
+      return 20;
+    case SolveResult::kUnknown:
+      break;
+  }
+  return 0;
+}
+
+int ipasir_val(void* solver, int lit) {
+  StubSolver* s = stub(solver);
+  const int v = lit < 0 ? -lit : lit;
+  if (v == 0 || v > s->num_vars) return 0;
+  const LBool value = s->backend.model_value(static_cast<Var>(v - 1));
+  if (value == LBool::kUndef) return 0;
+  const bool lit_true = (value == LBool::kTrue) != (lit < 0);
+  return lit_true ? lit : -lit;
+}
+
+}  // extern "C"

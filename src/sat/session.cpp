@@ -34,6 +34,7 @@ SessionStats& operator+=(SessionStats& a, const SessionStats& b) {
     a.backends[k].served += b.backends[k].served;
     a.backends[k].escalated += b.backends[k].escalated;
   }
+  a.portfolio += b.portfolio;
   return a;
 }
 
@@ -99,6 +100,10 @@ void SolverSession::do_load(const Cnf& cnf, const BackendPlan& plan, bool retrac
   stats_.fresh_clauses += cnf.clauses.size();
   ++stats_.backends[idx(plan.primary)].selected;
   backend_ = fetch_backend(plan.primary);
+  if (plan.primary == BackendKind::kPortfolio) {
+    // Width before load: changing it rebuilds the member set.
+    static_cast<PortfolioBackend*>(backend_)->set_width(plan.portfolio_width);
+  }
   if (retractable) {
     backend_->load_retractable(cnf);
   } else {
@@ -139,7 +144,13 @@ SolverBackend* SolverSession::fetch_backend(BackendKind kind) {
 
 SolveResult SolverSession::solve(std::span<const Lit> assumptions) {
   ++stats_.solve_calls;
-  return backend_->solve(assumptions);
+  const SolveResult result = backend_->solve(assumptions);
+  if (backend_->kind() == BackendKind::kPortfolio) {
+    // The backend's counters are cumulative across this session's
+    // loads, so a snapshot (not a sum) keeps stats_ exact.
+    stats_.portfolio = static_cast<PortfolioBackend*>(backend_)->portfolio_stats();
+  }
+  return result;
 }
 
 bool SolverSession::satisfiable() {

@@ -50,6 +50,7 @@
 
 #include "sat/backend.h"
 #include "sat/enumerate.h"
+#include "sat/portfolio.h"
 #include "sat/solver.h"
 #include "sat/types.h"
 
@@ -86,6 +87,10 @@ struct SessionStats {
   std::uint64_t clauses_added = 0;
   /// Per-backend selection/serving counters, indexed by BackendKind.
   std::array<BackendCounters, kNumBackendKinds> backends{};
+  /// Racing counters (README "Portfolio racing"), mirrored from the
+  /// session's PortfolioBackend after every solve it serves; all zero
+  /// when racing never engaged.
+  PortfolioStats portfolio;
 };
 
 /// Field-wise sum, for aggregating stats across sessions (the tomo

@@ -8,11 +8,13 @@ namespace ct::sat {
 
 Solver::Solver() = default;
 
+Solver::Solver(const SolverConfig& config) : config_(config) {}
+
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::kUndef);
   var_info_.push_back(VarInfo{});
-  polarity_.push_back(0);
+  polarity_.push_back(config_.init_polarity ? 1 : 0);
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(0);
@@ -413,6 +415,14 @@ SolveResult Solver::search(std::int64_t conflicts_allowed) {
   std::vector<Lit> learnt;
 
   for (;;) {
+    // Cooperative cancellation poll: one relaxed load per
+    // propagate-or-decide iteration, so a raised flag is honored well
+    // within one restart period.  Backtracking to level 0 leaves the
+    // solver exactly as consistent as a restart would.
+    if (stop_requested()) {
+      cancel_until(0);
+      return SolveResult::kUnknown;
+    }
     const ClauseRef confl = propagate();
     if (confl != kNoReason) {
       ++stats_.conflicts;
@@ -488,12 +498,13 @@ SolveResult Solver::solve(std::span<const Lit> assumptions) {
   const std::uint64_t start_conflicts = stats_.conflicts;
   SolveResult status = SolveResult::kUnknown;
   for (std::uint64_t curr_restarts = 0; status == SolveResult::kUnknown; ++curr_restarts) {
+    if (stop_requested()) break;
     if (conflict_budget_ != 0 &&
         stats_.conflicts - start_conflicts >= conflict_budget_) {
       break;
     }
-    const double rest_base = luby(2.0, curr_restarts);
-    status = search(static_cast<std::int64_t>(rest_base * 100.0));
+    const double rest_base = luby(config_.restart_base, curr_restarts);
+    status = search(static_cast<std::int64_t>(rest_base * config_.restart_scale));
   }
 
   if (status == SolveResult::kSat) {
@@ -547,7 +558,7 @@ void Solver::var_bump_activity(Var v) {
   if (heap_pos_[static_cast<std::size_t>(v)] >= 0) heap_update(v);
 }
 
-void Solver::var_decay_activity() { var_inc_ /= var_decay_; }
+void Solver::var_decay_activity() { var_inc_ /= config_.var_decay; }
 
 void Solver::clause_bump_activity(Clause& c) {
   c.activity += clause_inc_;
@@ -557,7 +568,7 @@ void Solver::clause_bump_activity(Clause& c) {
   }
 }
 
-void Solver::clause_decay_activity() { clause_inc_ /= clause_decay_; }
+void Solver::clause_decay_activity() { clause_inc_ /= config_.clause_decay; }
 
 void Solver::heap_insert(Var v) {
   heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(heap_.size());

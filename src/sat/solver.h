@@ -12,6 +12,7 @@
 // scratch so the repository is self-contained.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -24,6 +25,23 @@ namespace ct::sat {
 
 /// Result of a solve() call.
 enum class SolveResult : std::uint8_t { kSat, kUnsat, kUnknown };
+
+/// Search-strategy knobs.  Every configuration is semantically exact —
+/// it changes the path the search takes, never the answer — which is
+/// what makes portfolio racing sound: diversified configs disagree
+/// wildly on *time-to-answer* for hard formulas while agreeing on the
+/// answer itself.
+struct SolverConfig {
+  /// Luby restart sequence base (restart i allows luby(base, i) * scale
+  /// conflicts).
+  double restart_base = 2.0;
+  double restart_scale = 100.0;
+  /// Initial saved phase for fresh variables (phase saving overwrites
+  /// it as soon as a variable is assigned).
+  bool init_polarity = false;
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+};
 
 /// Solver statistics, cumulative across solve() calls.
 struct SolverStats {
@@ -39,6 +57,7 @@ struct SolverStats {
 class Solver {
  public:
   Solver();
+  explicit Solver(const SolverConfig& config);
 
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
@@ -97,6 +116,17 @@ class Solver {
 
   /// Optional conflict budget per solve() call; 0 disables the limit.
   void set_conflict_budget(std::uint64_t max_conflicts) { conflict_budget_ = max_conflicts; }
+
+  /// Cooperative cancellation: while `stop` is non-null and reads true,
+  /// solve() abandons the search at the next poll point (once per
+  /// search-loop iteration and once per restart) and returns kUnknown.
+  /// Cancellation backtracks to level 0 and keeps every learnt clause —
+  /// the solver state stays exactly as consistent as after a
+  /// conflict-budget timeout, so the same solver can be re-solved (with
+  /// the flag lowered) and still return the correct answer.  nullptr
+  /// detaches the flag.  The flag is only ever *read* by the solver;
+  /// raising it from another thread is the point.
+  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
 
   const SolverStats& stats() const { return stats_; }
 
@@ -165,6 +195,10 @@ class Solver {
 
   std::int32_t decision_level() const { return static_cast<std::int32_t>(trail_lim_.size()); }
 
+  bool stop_requested() const {
+    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+  }
+
   static double luby(double y, std::uint64_t i);
 
   // clause arena
@@ -188,9 +222,7 @@ class Solver {
   std::vector<std::int32_t> heap_pos_;  // -1 if absent
   std::vector<Var> heap_;
   double var_inc_ = 1.0;
-  double var_decay_ = 0.95;
   double clause_inc_ = 1.0;
-  double clause_decay_ = 0.999;
 
   // conflict analysis scratch
   std::vector<std::uint8_t> seen_;
@@ -208,6 +240,8 @@ class Solver {
   double learnt_growth_ = 1.1;
 
   std::uint64_t conflict_budget_ = 0;
+  const std::atomic<bool>* stop_ = nullptr;  // cooperative cancellation
+  SolverConfig config_;
   SolverStats stats_;
 };
 

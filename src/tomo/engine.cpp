@@ -127,6 +127,7 @@ void EngineStats::add_arena(const sat::SessionStats& s) {
     backends[k].served += s.backends[k].served;
     backends[k].escalated += s.backends[k].escalated;
   }
+  portfolio += s.portfolio;
   ++arenas;
 }
 
@@ -147,6 +148,10 @@ std::vector<CnfVerdict> analyze_cnfs(const std::vector<TomoCnf>& cnfs,
 
   unsigned threads =
       options.num_threads == 0 ? util::ThreadPool::hardware_threads() : options.num_threads;
+  // Thread-budget rule (README "Portfolio racing"): every racing solve
+  // runs `width` members concurrently, so divide the worker count by
+  // the racing width to keep workers x width within the same budget.
+  threads = std::max(1u, threads / options.backend.racing_width());
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, std::max<std::size_t>(cnfs.size(), 1)));
 
@@ -182,9 +187,13 @@ std::vector<CnfVerdict> analyze_cnfs(const std::vector<TomoCnf>& cnfs,
 StreamingAnalyzer::StreamingAnalyzer(util::BoundedQueue<EmittedCnf>& queue,
                                      StreamingAnalyzerOptions options)
     : queue_(queue), options_(std::move(options)) {
-  const unsigned threads = options_.analysis.num_threads == 0
-                               ? util::ThreadPool::hardware_threads()
-                               : options_.analysis.num_threads;
+  const unsigned configured = options_.analysis.num_threads == 0
+                                  ? util::ThreadPool::hardware_threads()
+                                  : options_.analysis.num_threads;
+  // Same thread-budget rule as analyze_cnfs: workers x racing width
+  // stays within the configured budget.
+  const unsigned threads =
+      std::max(1u, configured / options_.analysis.backend.racing_width());
   // Chain -> worker affinity only matters with several workers; a lone
   // worker sees every chain anyway and skips the dispatcher hop.
   const bool affine = options_.analysis.delta.enabled && threads > 1;

@@ -126,6 +126,10 @@ struct EngineStats {
   /// sat::BackendKind; sum of `selected` (and of `served`) equals
   /// cnf_loads + delta_loads.
   std::array<sat::BackendCounters, sat::kNumBackendKinds> backends{};
+  /// Portfolio racing counters (README "Portfolio racing"), summed over
+  /// all arenas: races run/won per member, probe decisions, winner vs.
+  /// wasted conflicts, and loser cancellation latency.
+  sat::PortfolioStats portfolio;
 
   /// Sums one arena's cumulative SessionStats into these counters and
   /// bumps `arenas` — the one aggregation path shared by analyze_cnfs,

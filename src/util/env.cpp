@@ -17,7 +17,7 @@ std::optional<bool> parse_bool(std::string_view value) {
 }
 
 bool env_parse_bool(const char* name, bool fallback) {
-  return env_parse<bool>(name, fallback, parse_bool);
+  return env_parse<bool>(name, fallback, parse_bool, "0/false/off, 1/true/on");
 }
 
 }  // namespace ct::util

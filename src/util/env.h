@@ -31,18 +31,27 @@ std::optional<bool> parse_bool(std::string_view value);
 
 /// Parses `name` with `parse` (a callable string_view -> optional<T>).
 /// Unset -> `fallback`; set and recognized -> the parsed value; set and
-/// unrecognized -> EnvParseError naming the variable and value.
+/// unrecognized -> EnvParseError naming the variable, the value, and —
+/// when the caller provides `accepted` — the values the flag takes, so
+/// the fix is in the message (not a grep through the README).
 template <typename T, typename Parser>
-T env_parse(const char* name, T fallback, Parser&& parse) {
+T env_parse(const char* name, T fallback, Parser&& parse, std::string_view accepted = {}) {
   const std::optional<std::string> raw = env_string(name);
   if (!raw.has_value()) return fallback;
   if (std::optional<T> parsed = parse(std::string_view(*raw)); parsed.has_value()) {
     return *std::move(parsed);
   }
-  throw EnvParseError(std::string("unrecognized ") + name + " value: \"" + *raw + '"');
+  std::string message = std::string("unrecognized ") + name + " value: \"" + *raw + '"';
+  if (!accepted.empty()) {
+    message += " (accepted: ";
+    message += accepted;
+    message += ')';
+  }
+  throw EnvParseError(message);
 }
 
-/// env_parse for on/off knobs, on parse_bool.
+/// env_parse for on/off knobs, on parse_bool (accepted values listed
+/// in the error automatically).
 bool env_parse_bool(const char* name, bool fallback);
 
 }  // namespace ct::util

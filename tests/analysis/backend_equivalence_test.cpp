@@ -7,6 +7,7 @@
 // auto / cdcl / count / unitprop, three seeds, lazy and eager counting)
 // and at the experiment level (every table/figure data product, across
 // backends x shard counts x batch/streaming).
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "analysis/scenario.h"
 #include "expect_churn.h"
 #include "sat/backend.h"
+#include "sat/portfolio.h"
 #include "shard_env.h"
 #include "tomo/cnf_builder.h"
 #include "tomo/engine.h"
@@ -30,7 +32,8 @@ using Mode = sat::BackendSelector::Mode;
 using test::expect_churn_equal;
 using test::shard_scenario;
 
-constexpr Mode kAllModes[] = {Mode::kAuto, Mode::kCdcl, Mode::kCount, Mode::kUnitProp};
+constexpr Mode kAllModes[] = {Mode::kAuto,     Mode::kCdcl,   Mode::kCount,
+                              Mode::kUnitProp, Mode::kIpasir, Mode::kPortfolio};
 
 std::uint64_t sum_selected(const tomo::EngineStats& stats) {
   std::uint64_t total = 0;
@@ -115,6 +118,20 @@ TEST(BackendEquivalence, VerdictsByteIdenticalAcrossBackends) {
         if (mode == Mode::kCdcl) {
           EXPECT_EQ(stats.backends[static_cast<std::size_t>(BackendKind::kCdcl)].served,
                     loads);
+        }
+        if (mode == Mode::kIpasir) {
+          EXPECT_EQ(stats.backends[static_cast<std::size_t>(BackendKind::kIpasir)].served,
+                    loads)
+              << "forced ipasir must route every CNF through the flat-C seam";
+        }
+        if (mode == Mode::kPortfolio) {
+          EXPECT_EQ(
+              stats.backends[static_cast<std::size_t>(BackendKind::kPortfolio)].served,
+              loads);
+          // Every solve either probed out or raced; the counters prove
+          // the portfolio actually engaged rather than quietly serving
+          // plain CDCL.
+          EXPECT_GT(stats.portfolio.races + stats.portfolio.probe_decided, 0u);
         }
       }
     }
@@ -219,7 +236,8 @@ TEST(BackendEquivalence, RemainingSeedsShardedStreaming) {
     baseline_options.analysis.delta.enabled = false;  // scratch-load truth
     const ExperimentResult baseline = run_experiment(baseline_scenario, baseline_options);
 
-    for (const Mode mode : {Mode::kAuto, Mode::kCount, Mode::kUnitProp}) {
+    for (const Mode mode : {Mode::kAuto, Mode::kCount, Mode::kUnitProp, Mode::kIpasir,
+                            Mode::kPortfolio}) {
       SCOPED_TRACE(std::string("backend=") + sat::BackendSelector::to_string(mode));
       Scenario scenario(shard_scenario(seed));
       ExperimentOptions options;
@@ -228,6 +246,52 @@ TEST(BackendEquivalence, RemainingSeedsShardedStreaming) {
       options.num_platform_shards = 4;
       options.streaming = true;
       expect_results_equal(run_experiment(scenario, options), baseline);
+    }
+  }
+}
+
+// Portfolio racing on/off, crossed with forced winners: CT_SAT_PORTFOLIO
+// arms racing in auto mode, forced kPortfolio races every CNF, and
+// injected per-member delays force specific members to win — the final
+// report must be byte-identical in every case (the determinism argument
+// in sat/portfolio.h, held at the experiment level).
+TEST(BackendEquivalence, PortfolioRacingOnOffByteIdentical) {
+  struct DelayGuard {
+    ~DelayGuard() { sat::set_portfolio_test_delays({}); }
+  } guard;
+
+  Scenario baseline_scenario(shard_scenario(20170623));
+  ExperimentOptions baseline_options;
+  baseline_options.analysis.backend.mode = Mode::kCdcl;
+  const ExperimentResult baseline = run_experiment(baseline_scenario, baseline_options);
+
+  using std::chrono::milliseconds;
+  struct Case {
+    const char* name;
+    Mode mode;
+    unsigned width;
+    std::vector<std::chrono::nanoseconds> delays;
+  };
+  const std::vector<Case> cases = {
+      {"auto+racing", Mode::kAuto, 2, {}},
+      {"forced portfolio", Mode::kPortfolio, 2, {}},
+      {"forced portfolio, member 1 wins", Mode::kPortfolio, 2, {milliseconds(2), {}}},
+      {"forced portfolio, member 0 wins", Mode::kPortfolio, 2, {{}, milliseconds(2)}},
+      {"forced portfolio width 3", Mode::kPortfolio, 3, {}},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    sat::set_portfolio_test_delays(c.delays);
+    Scenario scenario(shard_scenario(20170623));
+    ExperimentOptions options;
+    options.analysis.backend.mode = c.mode;
+    options.analysis.backend.portfolio_width = c.width;
+    options.analysis.delta = sat::DeltaPolicy::from_env();
+    const ExperimentResult got = run_experiment(scenario, options);
+    expect_results_equal(got, baseline);
+    if (c.mode == Mode::kPortfolio) {
+      EXPECT_GT(got.engine_stats.portfolio.races + got.engine_stats.portfolio.probe_decided,
+                0u);
     }
   }
 }

@@ -180,6 +180,8 @@ TEST(BackendSelector, ParseAndEnv) {
   EXPECT_EQ(BackendSelector::parse("cdcl"), BackendSelector::Mode::kCdcl);
   EXPECT_EQ(BackendSelector::parse("count"), BackendSelector::Mode::kCount);
   EXPECT_EQ(BackendSelector::parse("unitprop"), BackendSelector::Mode::kUnitProp);
+  EXPECT_EQ(BackendSelector::parse("ipasir"), BackendSelector::Mode::kIpasir);
+  EXPECT_EQ(BackendSelector::parse("portfolio"), BackendSelector::Mode::kPortfolio);
   EXPECT_FALSE(BackendSelector::parse("minisat").has_value());
 
   ASSERT_EQ(setenv("CT_SAT_BACKEND", "count", 1), 0);
@@ -192,6 +194,53 @@ TEST(BackendSelector, ParseAndEnv) {
   EXPECT_THROW(BackendSelector::from_env(), ct::util::EnvParseError);
   unsetenv("CT_SAT_BACKEND");
   EXPECT_EQ(BackendSelector::from_env().mode, BackendSelector::Mode::kAuto);
+}
+
+TEST(BackendSelector, PortfolioEnvKnobs) {
+  unsetenv("CT_SAT_BACKEND");
+  unsetenv("CT_SAT_PORTFOLIO");
+  unsetenv("CT_SAT_PORTFOLIO_WIDTH");
+
+  // Default: racing off, width 1 (no thread-budget division).
+  EXPECT_EQ(BackendSelector::from_env().portfolio_width, 0u);
+  EXPECT_EQ(BackendSelector::from_env().racing_width(), 1u);
+
+  // CT_SAT_PORTFOLIO=1 arms auto-mode racing at the default width.
+  ASSERT_EQ(setenv("CT_SAT_PORTFOLIO", "1", 1), 0);
+  EXPECT_EQ(BackendSelector::from_env().portfolio_width, kDefaultPortfolioWidth);
+  EXPECT_EQ(BackendSelector::from_env().racing_width(), kDefaultPortfolioWidth);
+
+  ASSERT_EQ(setenv("CT_SAT_PORTFOLIO_WIDTH", "3", 1), 0);
+  EXPECT_EQ(BackendSelector::from_env().portfolio_width, 3u);
+
+  // The width knob alone changes nothing while racing is off.
+  ASSERT_EQ(setenv("CT_SAT_PORTFOLIO", "0", 1), 0);
+  EXPECT_EQ(BackendSelector::from_env().portfolio_width, 0u);
+
+  // Bad values fail fast, with the accepted values in the message.
+  ASSERT_EQ(setenv("CT_SAT_PORTFOLIO", "yes", 1), 0);
+  EXPECT_THROW(BackendSelector::from_env(), ct::util::EnvParseError);
+  ASSERT_EQ(setenv("CT_SAT_PORTFOLIO", "1", 1), 0);
+  for (const char* bad : {"1", "5", "22", "two", ""}) {
+    ASSERT_EQ(setenv("CT_SAT_PORTFOLIO_WIDTH", bad, 1), 0);
+    try {
+      BackendSelector::from_env();
+      FAIL() << "width \"" << bad << "\" should be rejected";
+    } catch (const ct::util::EnvParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("2..4"), std::string::npos) << e.what();
+    }
+  }
+
+  // Forced portfolio mode parses from the same CT_SAT_BACKEND knob.
+  unsetenv("CT_SAT_PORTFOLIO");
+  unsetenv("CT_SAT_PORTFOLIO_WIDTH");
+  ASSERT_EQ(setenv("CT_SAT_BACKEND", "portfolio", 1), 0);
+  const BackendSelector forced = BackendSelector::from_env();
+  EXPECT_EQ(forced.mode, BackendSelector::Mode::kPortfolio);
+  EXPECT_GE(forced.racing_width(), 2u) << "forced mode always races";
+  ASSERT_EQ(setenv("CT_SAT_BACKEND", "ipasir", 1), 0);
+  EXPECT_EQ(BackendSelector::from_env().mode, BackendSelector::Mode::kIpasir);
+  unsetenv("CT_SAT_BACKEND");
 }
 
 TEST(SolverSession, CountsBackendSelectionAndEscalation) {

@@ -78,6 +78,47 @@ TEST_F(EnvTest, ErrorNamesVariableAndValue) {
   }
 }
 
+TEST_F(EnvTest, ErrorListsAcceptedValuesWhenProvided) {
+  // The fix should be in the message, not a grep through the README:
+  // env_parse_bool always lists the canonical spellings...
+  ASSERT_EQ(setenv(kVar, "bogus", 1), 0);
+  try {
+    env_parse_bool(kVar, true);
+    FAIL() << "expected EnvParseError";
+  } catch (const EnvParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("accepted:"), std::string::npos) << what;
+    EXPECT_NE(what.find("0/false/off"), std::string::npos) << what;
+    EXPECT_NE(what.find("1/true/on"), std::string::npos) << what;
+  }
+  // ...and generic env_parse relays whatever the caller declares.
+  const auto parse_digit = [](std::string_view v) -> std::optional<int> {
+    if (v.size() == 1 && v[0] >= '0' && v[0] <= '9') return v[0] - '0';
+    return std::nullopt;
+  };
+  try {
+    env_parse(kVar, 7, parse_digit, "a single digit 0..9");
+    FAIL() << "expected EnvParseError";
+  } catch (const EnvParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("a single digit 0..9"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(EnvTest, ErrorOmitsAcceptedClauseWhenNoneDeclared) {
+  ASSERT_EQ(setenv(kVar, "33", 1), 0);
+  const auto parse_digit = [](std::string_view v) -> std::optional<int> {
+    if (v.size() == 1 && v[0] >= '0' && v[0] <= '9') return v[0] - '0';
+    return std::nullopt;
+  };
+  try {
+    env_parse(kVar, 7, parse_digit);
+    FAIL() << "expected EnvParseError";
+  } catch (const EnvParseError& e) {
+    EXPECT_EQ(std::string(e.what()).find("accepted"), std::string::npos) << e.what();
+  }
+}
+
 TEST_F(EnvTest, EnvParseGenericParserAndFallback) {
   const auto parse_digit = [](std::string_view v) -> std::optional<int> {
     if (v.size() == 1 && v[0] >= '0' && v[0] <= '9') return v[0] - '0';
