@@ -40,6 +40,7 @@
 #include "analysis/checkpoint.h"
 #include "analysis/monitor.h"
 #include "analysis/report.h"
+#include "censor/regime.h"
 #include "sat/backend.h"
 
 namespace {
@@ -123,10 +124,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Scenario regime from CT_SCENARIO (README "Scenarios"): part of the
+  // checkpoint fingerprint, so a checkpoint only resumes under the same
+  // regime.
+  config.regime = ct::censor::RegimeConfig::from_env(config.regime);
+
   ct::analysis::Scenario scenario(config);
   MonitorEngine monitor(scenario, options);
 
-  std::cout << "monitor_daemon: seed " << config.seed << ", " << config.platform.num_days
+  std::cout << "monitor_daemon: seed " << config.seed << ", scenario "
+            << ct::censor::to_string(config.regime.regime) << ", " << config.platform.num_days
             << " days, segment " << options.segment_days << "d, shards "
             << options.experiment.num_platform_shards << ", threads "
             << options.experiment.num_threads << ", checkpoint "
@@ -179,8 +186,9 @@ int main(int argc, char** argv) {
     std::cout << "watermark " << stats.watermark << "/" << monitor.num_days()
               << "  open-windows " << stats.open_main_windows << "+"
               << stats.open_ablation_windows << "  churn-open " << stats.churn_open_entries
-              << "  retained-peak " << stats.retained_clauses_peak << "  reads "
-              << stats.engine.snapshot_reads;
+              << "  churn fail/rep/down " << stats.churn_failures << "/" << stats.churn_repairs
+              << "/" << stats.churn_links_down << "  retained-peak "
+              << stats.retained_clauses_peak << "  reads " << stats.engine.snapshot_reads;
     if (stats.engine.portfolio.races > 0) {
       std::cout << "  races " << stats.engine.portfolio.races << " (wasted "
                 << static_cast<int>(100.0 * stats.engine.portfolio.wasted_ratio()) << "%)";

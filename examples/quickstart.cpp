@@ -1,7 +1,7 @@
 // Quickstart: run the whole censorship-localization pipeline on a small
 // synthetic Internet and print the paper-style report.
 //
-//   $ ./quickstart [seed]
+//   $ [CT_SCENARIO={baseline,routing,multipath,adaptive,pathdiv}] ./quickstart [seed]
 //
 // Builds a topology, plants ground-truth censors, simulates two months
 // of ICLab-style measurements, localizes censors with boolean network
@@ -12,12 +12,15 @@
 
 #include "analysis/experiment.h"
 #include "analysis/report.h"
+#include "censor/regime.h"
 
 int main(int argc, char** argv) {
   ct::analysis::ScenarioConfig config = ct::analysis::small_scenario();
   if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
+  config.regime = ct::censor::RegimeConfig::from_env(config.regime);
 
-  std::cout << "churntomo quickstart: seed " << config.seed << ", "
+  std::cout << "churntomo quickstart: seed " << config.seed << ", scenario "
+            << ct::censor::to_string(config.regime.regime) << ", "
             << config.topology.num_ases << " ASes, " << config.platform.num_vantages
             << " vantage points, " << config.platform.num_days << " days\n\n";
 

@@ -74,6 +74,13 @@ std::uint64_t config_fingerprint(const Scenario& scenario, const ExperimentOptio
   h = util::mix64(h, static_cast<std::uint64_t>(platform.num_dest_ases));
   h = util::mix64(h, std::bit_cast<std::uint64_t>(platform.test_prob));
   h = util::mix64(h, std::bit_cast<std::uint64_t>(platform.flutter_prob));
+  // Scenario regime: ground truth and path emission both depend on it,
+  // so a checkpoint written under one regime must refuse to resume
+  // under another.
+  h = util::mix64(h, static_cast<std::uint64_t>(config.regime.regime) + 1);
+  h = util::mix64(h, std::bit_cast<std::uint64_t>(config.regime.ingress_fraction));
+  h = util::mix64(h, std::bit_cast<std::uint64_t>(config.regime.dither_fraction));
+  h = util::mix64(h, static_cast<std::uint64_t>(config.regime.adaptive_period_days));
   h = util::mix64(h, static_cast<std::uint64_t>(options.min_support));
   h = util::mix64(h, options.analysis.count_cap);
   for (const util::Granularity g : options.fig1_granularities) {

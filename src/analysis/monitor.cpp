@@ -81,6 +81,8 @@ MonitorEngine::MonitorEngine(Scenario& scenario, MonitorOptions options)
       folds_(options_.experiment),
       summary_(scenario.graph()),
       truth_(scenario.registry(), scenario.platform()),
+      churn_probe_(scenario.graph(), scenario.platform().config().churn,
+                   scenario.config().seed),
       analysis_pool_(options_.experiment.num_threads),
       main_arenas_(analysis_pool_.size()),
       ablation_arenas_(analysis_pool_.size()) {
@@ -343,6 +345,16 @@ MonitorStats MonitorEngine::stats() const {
   stats.retained_clauses_now = retained_.current();
   stats.retained_clauses_peak = retained_.peak();
   stats.gauge_underflows = retained_.underflows();
+  // Replay the churn replica to the last ingested epoch (watermark only
+  // grows, so the forward-only engine never needs to rewind).
+  if (watermark_ > 0) {
+    const std::int64_t epd = scenario_->platform().config().epochs_per_day;
+    const std::int64_t last_epoch = static_cast<std::int64_t>(watermark_) * epd - 1;
+    if (last_epoch > churn_probe_.epoch()) churn_probe_.advance_to(last_epoch);
+  }
+  stats.churn_failures = churn_probe_.total_failures();
+  stats.churn_repairs = churn_probe_.total_repairs();
+  stats.churn_links_down = churn_probe_.links_down();
   stats.engine = engine_now();
   return stats;
 }

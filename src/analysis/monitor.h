@@ -138,6 +138,15 @@ struct MonitorStats {
   std::int64_t retained_clauses_now = 0;
   std::int64_t retained_clauses_peak = 0;
   std::int64_t gauge_underflows = 0;
+  /// Churn-process counters at the watermark, replayed deterministically
+  /// from the seed (the platform shards own the real engines; the
+  /// trajectory is a pure function of the seed, so the replica matches
+  /// them exactly).  failures - repairs == links_down always; failures
+  /// ~ repairs with few links down means a flapping population, a
+  /// growing gap means links are dying.
+  std::int64_t churn_failures = 0;
+  std::int64_t churn_repairs = 0;
+  std::int32_t churn_links_down = 0;
   /// Cumulative SAT + snapshot-server counters (both analysis passes),
   /// carried across resume via the checkpoint.
   tomo::EngineStats engine;
@@ -219,7 +228,11 @@ class MonitorEngine {
   /// accumulate on top of this base).
   tomo::EngineStats stats_base_;
 
-  // Execution state (never checkpointed).
+  // Execution state (never checkpointed).  The churn replica is lazily
+  // replayed to the watermark inside stats() — it reconstructs the same
+  // trajectory as the shards' engines (pure function of the seed), so
+  // it needs no persistence either.
+  mutable bgp::ChurnEngine churn_probe_;
   util::ThreadPool analysis_pool_;
   std::vector<tomo::CnfAnalyzer> main_arenas_;
   std::vector<tomo::CnfAnalyzer> ablation_arenas_;

@@ -1,0 +1,165 @@
+#include "analysis/regime.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "bgp/churn.h"
+#include "bgp/routing.h"
+
+namespace ct::analysis {
+
+using censor::CensorPolicy;
+using censor::ScenarioRegime;
+using topo::AsId;
+
+ScenarioConfig materialize_regime(ScenarioConfig config) {
+  config.platform.ecmp_multipath = config.regime.regime == ScenarioRegime::kMultipath;
+  return config;
+}
+
+namespace {
+
+/// Stub censors are drawn from the measurement endpoints (eyeball /
+/// hosting ASes censoring their own traffic) so ground truth is
+/// observable by the platform.
+censor::CensorConfig with_endpoint_pool(const ScenarioConfig& config,
+                                        const iclab::Endpoints& endpoints) {
+  censor::CensorConfig out = config.censors;
+  if (out.stub_censor_pool.empty()) {
+    // Destination (hosting) ASes: their censorship is observable and
+    // attributable because the destination's address appears in every
+    // traceroute.  Vantage ASes are excluded — their hops are private
+    // addresses, so their own censorship cannot be localized by the
+    // method (it surfaces as unsolvable CNFs instead).
+    out.stub_censor_pool = endpoints.dest_ases;
+  }
+  return out;
+}
+
+bool is_transit(const topo::AsGraph& graph, AsId as) {
+  const topo::AsTier tier = graph.as_info(as).tier;
+  return tier == topo::AsTier::kTier1 || tier == topo::AsTier::kTransit;
+}
+
+}  // namespace
+
+std::vector<CensorPolicy> adaptive_placements(const topo::AsGraph& graph,
+                                              const ScenarioConfig& config,
+                                              const iclab::Endpoints& endpoints,
+                                              std::vector<CensorPolicy> policies) {
+  const util::Day period = config.regime.adaptive_period_days;
+  if (period < 1) {
+    throw std::invalid_argument("adaptive_placements: adaptive_period_days < 1");
+  }
+
+  // The adaptive censor slots: one per distinct baseline transit censor,
+  // ascending by AS id so the slot order is a function of the ground
+  // truth, not of policy vector order.  Each slot keeps its baseline
+  // censor's first policy content (categories / anomaly signatures) —
+  // the *who* re-optimizes, the *what* stays.
+  std::map<AsId, CensorPolicy> slots;
+  std::vector<CensorPolicy> out;
+  for (CensorPolicy& p : policies) {
+    if (is_transit(graph, p.censor)) {
+      slots.try_emplace(p.censor, p);
+    } else {
+      out.push_back(std::move(p));
+    }
+  }
+  if (slots.empty()) return out;
+
+  const std::int64_t epochs_per_day = config.platform.epochs_per_day;
+  bgp::ChurnEngine churn(graph, config.platform.churn, config.seed);
+  const bgp::RouteComputer computer(graph);
+
+  for (util::Day s0 = 0; s0 < config.platform.num_days; s0 += period) {
+    // Link state at the segment's first epoch — exactly the state
+    // Platform::run_shard sees at (day s0, epoch 0): the engine sits at
+    // epoch d*epochs_per_day+e when measuring that slot.
+    churn.advance_to(static_cast<std::int64_t>(s0) * epochs_per_day);
+    const bgp::RouteTableSet tables(computer, endpoints.dest_ases, churn.link_up());
+
+    // Transit coverage under this routing state: how many (vantage,
+    // destination) best paths cross each transit AS.
+    std::vector<std::int64_t> coverage(static_cast<std::size_t>(graph.num_ases()), 0);
+    for (std::size_t di = 0; di < endpoints.dest_ases.size(); ++di) {
+      const bgp::RouteTable& table = tables.at(di);
+      for (const AsId vp : endpoints.vantages) {
+        if (!table.reachable(vp)) continue;
+        const std::vector<AsId> path = table.path(vp);
+        for (std::size_t h = 1; h + 1 < path.size(); ++h) {
+          if (is_transit(graph, path[h])) {
+            ++coverage[static_cast<std::size_t>(path[h])];
+          }
+        }
+      }
+    }
+
+    // Rank: coverage desc, AS id asc (deterministic).
+    std::vector<AsId> ranked;
+    for (AsId as = 0; as < graph.num_ases(); ++as) {
+      if (coverage[static_cast<std::size_t>(as)] > 0) ranked.push_back(as);
+    }
+    std::sort(ranked.begin(), ranked.end(), [&coverage](AsId a, AsId b) {
+      const std::int64_t ca = coverage[static_cast<std::size_t>(a)];
+      const std::int64_t cb = coverage[static_cast<std::size_t>(b)];
+      return ca != cb ? ca > cb : a < b;
+    });
+
+    // The last segment is open-ended: a strategic censor does not go
+    // dark when the configured horizon ends (multi-year replays keep
+    // measuring it).
+    const bool last = s0 + period >= config.platform.num_days;
+    const util::Day s1 = last ? censor::kPolicyNoExpiry : s0 + period;
+    std::size_t rank = 0;
+    for (const auto& [baseline_as, content] : slots) {
+      // More slots than covering transit ASes: the overflow slot stays
+      // on its baseline placement.
+      const AsId placement = rank < ranked.size() ? ranked[rank] : baseline_as;
+      ++rank;
+      CensorPolicy p = content;
+      p.censor = placement;
+      p.active_from = s0;
+      p.active_to = s1;
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+censor::CensorRegistry build_regime_registry(const topo::AsGraph& graph,
+                                             const ScenarioConfig& config,
+                                             const iclab::Endpoints& endpoints) {
+  censor::CensorRegistry baseline = censor::generate_censors(
+      graph, with_endpoint_pool(config, endpoints), config.seed);
+  const censor::RegimeConfig& regime = config.regime;
+  switch (regime.regime) {
+    case ScenarioRegime::kBaseline:
+    case ScenarioRegime::kMultipath:
+      // Multipath stresses the platform's path emission, not the
+      // ground truth.
+      return baseline;
+    case ScenarioRegime::kRoutingInduced: {
+      std::vector<CensorPolicy> policies = baseline.policies();
+      censor::attach_ingress_predicates(graph, policies, regime.ingress_fraction,
+                                        util::mix64(config.seed, 0x1261EE));
+      return censor::CensorRegistry(graph.num_ases(), std::move(policies));
+    }
+    case ScenarioRegime::kPathDiversity: {
+      std::vector<CensorPolicy> policies = baseline.policies();
+      censor::attach_path_dither(graph, policies, regime.dither_fraction,
+                                 util::mix64(config.seed, 0xBA7D1));
+      return censor::CensorRegistry(graph.num_ases(), std::move(policies));
+    }
+    case ScenarioRegime::kAdaptive: {
+      std::vector<CensorPolicy> policies =
+          adaptive_placements(graph, config, endpoints, baseline.policies());
+      return censor::CensorRegistry(graph.num_ases(), std::move(policies));
+    }
+  }
+  return baseline;
+}
+
+}  // namespace ct::analysis

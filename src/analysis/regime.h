@@ -1,0 +1,42 @@
+// Regime application: where ScenarioConfig::regime becomes concrete
+// ground truth and platform behavior.
+//
+// The graph-only generators (ingress predicates, path dither) live in
+// censor/regime.h; this layer adds the route-aware one — the adaptive
+// censor needs bgp::RouteComputer to chase transit coverage, and the
+// censor layer cannot link bgp — and the single entry points Scenario
+// uses to wire a regime through construction.
+#pragma once
+
+#include "analysis/scenario.h"
+#include "censor/regime.h"
+
+namespace ct::analysis {
+
+/// `config` with regime side effects materialized into the substrate
+/// configs: kMultipath turns on iclab ECMP flow spreading.  Scenario
+/// applies this before construction, so config() reflects what ran.
+ScenarioConfig materialize_regime(ScenarioConfig config);
+
+/// Generates the ground-truth censor registry for config.regime:
+/// baseline censors first (stub censors drawn from the measurement
+/// endpoints, exactly as before), then the regime's policy transform.
+/// Deterministic in config.seed; kBaseline and kMultipath return the
+/// baseline registry untouched.
+censor::CensorRegistry build_regime_registry(const topo::AsGraph& graph,
+                                             const ScenarioConfig& config,
+                                             const iclab::Endpoints& endpoints);
+
+/// kAdaptive generator, exposed for tests: re-places every transit
+/// censor at each `period`-day boundary onto the transit ASes with the
+/// highest (vantage, destination) path coverage under the *current*
+/// churned routing state — a Decoy-Router-style strategic censor that
+/// re-optimizes at its policy-change days.  Stub policies pass through
+/// unchanged; the final segment is open-ended (censors do not go dark
+/// after the configured horizon).  Deterministic in (seed, policies).
+std::vector<censor::CensorPolicy> adaptive_placements(const topo::AsGraph& graph,
+                                                      const ScenarioConfig& config,
+                                                      const iclab::Endpoints& endpoints,
+                                                      std::vector<censor::CensorPolicy> policies);
+
+}  // namespace ct::analysis

@@ -245,6 +245,34 @@ std::string render_score(const ExperimentResult& result, const Scenario& scenari
   return out.str();
 }
 
+RegimeAccuracyRow make_accuracy_row(const ExperimentResult& result, const Scenario& scenario) {
+  RegimeAccuracyRow row;
+  row.regime = scenario.config().regime.regime;
+  row.ground_truth = static_cast<std::int64_t>(scenario.registry().censor_ases().size());
+  row.observable = static_cast<std::int64_t>(result.observable_censors.size());
+  row.identified = static_cast<std::int64_t>(result.identified_censors.size());
+  row.precision = result.score_all.precision();
+  row.recall_all = result.score_all.recall();
+  row.recall_observable = result.score_observable.recall();
+  row.cnfs = result.total_cnfs;
+  return row;
+}
+
+std::string render_regime_accuracy(const std::vector<RegimeAccuracyRow>& rows) {
+  util::TextTable table({"Scenario", "Truth", "Observable", "Identified", "Precision",
+                         "Recall(all)", "Recall(obs)", "CNFs"});
+  for (const RegimeAccuracyRow& row : rows) {
+    table.add_row({censor::to_string(row.regime), fmt_count(row.ground_truth),
+                   fmt_count(row.observable), fmt_count(row.identified), fmt(row.precision, 3),
+                   fmt(row.recall_all, 3), fmt(row.recall_observable, 3), fmt_count(row.cnfs)});
+  }
+  std::ostringstream out;
+  out << table.render("Localization accuracy by scenario regime");
+  out << "  Truth = ground-truth censor ASes; Observable = fired on >= 1 measured path;\n"
+         "  precision/recall of identified_censors vs ground truth (min-support rule).\n";
+  return out.str();
+}
+
 std::string render_backends(const ExperimentResult& result) {
   const auto& stats = result.engine_stats;
   util::TextTable table({"Backend", "Selected", "Served", "Escalated"});

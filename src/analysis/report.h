@@ -7,8 +7,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "analysis/experiment.h"
+#include "censor/regime.h"
 
 namespace ct::analysis {
 
@@ -26,6 +28,27 @@ std::string render_score(const ExperimentResult& result, const Scenario& scenari
 /// SAT backend mix of the main analysis pass (selected / served /
 /// escalated per backend, plus load/solve totals).
 std::string render_backends(const ExperimentResult& result);
+
+/// One row of the per-regime localization accuracy table
+/// (examples/accuracy_report; archived in EXPERIMENTS.md "Scenario
+/// regimes"): does tomography still localize when the scenario breaks
+/// one of the paper's assumptions?
+struct RegimeAccuracyRow {
+  censor::ScenarioRegime regime = censor::ScenarioRegime::kBaseline;
+  std::int64_t ground_truth = 0;
+  std::int64_t observable = 0;
+  std::int64_t identified = 0;
+  double precision = 0.0;
+  double recall_all = 0.0;
+  double recall_observable = 0.0;
+  std::int64_t cnfs = 0;
+};
+
+/// Collapses one regime's run into its accuracy row.
+RegimeAccuracyRow make_accuracy_row(const ExperimentResult& result, const Scenario& scenario);
+
+/// The per-regime accuracy table (baseline first by convention).
+std::string render_regime_accuracy(const std::vector<RegimeAccuracyRow>& rows);
 
 /// Everything above, concatenated (used by the full-report example).
 std::string render_all(const ExperimentResult& result, const Scenario& scenario);

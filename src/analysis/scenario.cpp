@@ -1,5 +1,7 @@
 #include "analysis/scenario.h"
 
+#include "analysis/regime.h"
+
 namespace ct::analysis {
 
 ScenarioConfig default_scenario() {
@@ -44,35 +46,18 @@ ScenarioConfig small_scenario() {
   return cfg;
 }
 
-namespace {
-
-/// Stub censors are drawn from the measurement endpoints (eyeball /
-/// hosting ASes censoring their own traffic) so ground truth is
-/// observable by the platform.
-censor::CensorConfig with_endpoint_pool(const ScenarioConfig& config,
-                                        const iclab::Endpoints& endpoints) {
-  censor::CensorConfig out = config.censors;
-  if (out.stub_censor_pool.empty()) {
-    // Destination (hosting) ASes: their censorship is observable and
-    // attributable because the destination's address appears in every
-    // traceroute.  Vantage ASes are excluded — their hops are private
-    // addresses, so their own censorship cannot be localized by the
-    // method (it surfaces as unsolvable CNFs instead).
-    out.stub_censor_pool = endpoints.dest_ases;
-  }
-  return out;
-}
-
-}  // namespace
-
+// Regime wiring (analysis/regime.h): the config is materialized first
+// (kMultipath flips the platform's ECMP flag), then ground truth is
+// generated through the regime's policy transform.  Baseline topology,
+// endpoints, and addressing are regime-independent by construction, so
+// regimes stay comparable world-for-world.
 Scenario::Scenario(const ScenarioConfig& config)
-    : config_(config),
-      graph_(topo::generate_topology(config.topology, config.seed)),
-      endpoints_(iclab::choose_endpoints(graph_, config.platform, config.seed)),
-      registry_(censor::generate_censors(graph_, with_endpoint_pool(config, endpoints_),
-                                         config.seed)),
-      plan_(net::allocate_prefixes(graph_, config.addressing)),
+    : config_(materialize_regime(config)),
+      graph_(topo::generate_topology(config_.topology, config_.seed)),
+      endpoints_(iclab::choose_endpoints(graph_, config_.platform, config_.seed)),
+      registry_(build_regime_registry(graph_, config_, endpoints_)),
+      plan_(net::allocate_prefixes(graph_, config_.addressing)),
       ip2as_(net::build_ip2as(plan_)),
-      platform_(graph_, registry_, plan_, config.platform, config.seed, endpoints_) {}
+      platform_(graph_, registry_, plan_, config_.platform, config_.seed, endpoints_) {}
 
 }  // namespace ct::analysis

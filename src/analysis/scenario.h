@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "censor/policy.h"
+#include "censor/regime.h"
 #include "iclab/platform.h"
 #include "net/ip2as.h"
 #include "topo/generator.h"
@@ -20,6 +21,11 @@ struct ScenarioConfig {
   topo::TopologyConfig topology;
   net::AddressPlanConfig addressing;
   censor::CensorConfig censors;
+  /// Scenario regime (README "Scenarios"): which of the paper's
+  /// assumptions this run stresses.  Selected per-run via CT_SCENARIO
+  /// (censor::RegimeConfig::from_env); part of the checkpoint config
+  /// fingerprint.
+  censor::RegimeConfig regime;
   iclab::PlatformConfig platform;
   std::uint64_t seed = 20170623;  // arXiv submission date of the paper
 };

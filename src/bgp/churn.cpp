@@ -25,6 +25,7 @@ std::int64_t ChurnEngine::advance() {
     } else if (rng_.bernoulli(config_.repair_prob)) {
       up_[i] = true;
       --links_down_;
+      ++total_repairs_;
     }
   }
   return ++epoch_;

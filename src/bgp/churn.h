@@ -59,6 +59,12 @@ class ChurnEngine {
   /// Total up->down transitions so far (a churn intensity metric).
   std::int64_t total_failures() const { return total_failures_; }
 
+  /// Total down->up transitions.  Together with total_failures() this
+  /// distinguishes a flapping link population (failures ~ repairs, few
+  /// links down) from a dying one (failures >> repairs); the invariant
+  /// total_failures() - total_repairs() == links_down() always holds.
+  std::int64_t total_repairs() const { return total_repairs_; }
+
  private:
   const topo::AsGraph& graph_;
   ChurnConfig config_;
@@ -67,6 +73,7 @@ class ChurnEngine {
   std::int64_t epoch_ = 0;
   std::int32_t links_down_ = 0;
   std::int64_t total_failures_ = 0;
+  std::int64_t total_repairs_ = 0;
 };
 
 }  // namespace ct::bgp

@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/rng.h"
+
 namespace ct::bgp {
 
 using topo::AsId;
@@ -75,6 +77,95 @@ std::vector<AsId> RouteTable::path(AsId src) const {
   throw std::logic_error("RouteTable::path: path reconstruction did not terminate");
 }
 
+std::int32_t RouteTable::advertised(std::size_t x) const {
+  if (cust_dist_[x] < kInf) return cust_dist_[x];
+  if (peer_dist_[x] < kInf) return peer_dist_[x];
+  return prov_dist_[x];
+}
+
+std::vector<AsId> RouteTable::class_next_hops(AsId x, RouteKind cls, const topo::AsGraph& graph,
+                                              const std::vector<bool>& link_up) const {
+  std::vector<AsId> out;
+  const auto xs = static_cast<std::size_t>(x);
+  for (const auto& nb : graph.neighbors(x)) {
+    if (!link_up[static_cast<std::size_t>(nb.link)]) continue;
+    const auto y = static_cast<std::size_t>(nb.as);
+    switch (cls) {
+      case RouteKind::kCustomer:
+        // Mirror of phase 1: the route came up a provider edge, so from
+        // x's side the next hop is a customer one level closer.
+        if (nb.kind == NeighborKind::kCustomer && cust_dist_[y] < kInf &&
+            cust_dist_[y] + 1 == cust_dist_[xs]) {
+          out.push_back(nb.as);
+        }
+        break;
+      case RouteKind::kPeer:
+        // One peer hop onto an equally short customer route.
+        if (nb.kind == NeighborKind::kPeer && cust_dist_[y] < kInf &&
+            cust_dist_[y] + 1 == peer_dist_[xs]) {
+          out.push_back(nb.as);
+        }
+        break;
+      case RouteKind::kProvider:
+        // The provider exported its selected route.
+        if (nb.kind == NeighborKind::kProvider && advertised(y) < kInf &&
+            advertised(y) + 1 == prov_dist_[xs]) {
+          out.push_back(nb.as);
+        }
+        break;
+      case RouteKind::kOrigin:
+      case RouteKind::kNone:
+        return out;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<AsId> RouteTable::ecmp_next_hops(AsId src, const topo::AsGraph& graph,
+                                             const std::vector<bool>& link_up) const {
+  if (src < 0 || src >= static_cast<AsId>(kind_.size())) return {};
+  return class_next_hops(src, kind_[static_cast<std::size_t>(src)], graph, link_up);
+}
+
+std::vector<AsId> RouteTable::ecmp_path(AsId src, std::uint64_t flow_hash,
+                                        const topo::AsGraph& graph,
+                                        const std::vector<bool>& link_up) const {
+  std::vector<AsId> out;
+  if (!reachable(src)) return out;
+  AsId x = src;
+  RouteKind cls = kind_[static_cast<std::size_t>(src)];
+  const auto limit = kind_.size() + 2;
+  while (out.size() <= limit) {
+    out.push_back(x);
+    if (x == dest_) return out;
+    const std::vector<AsId> hops = class_next_hops(x, cls, graph, link_up);
+    if (hops.empty()) {
+      throw std::logic_error("RouteTable::ecmp_path: inconsistent route state");
+    }
+    // Per-hop ECMP hash: keyed on the flow and the hop index, so one
+    // flow makes independent (but fixed) choices along its path.
+    const std::size_t pick =
+        hops.size() == 1
+            ? 0
+            : static_cast<std::size_t>(util::mix64(flow_hash, out.size()) % hops.size());
+    x = hops[pick];
+    const auto ps = static_cast<std::size_t>(x);
+    if (x == dest_) {
+      cls = RouteKind::kOrigin;
+    } else if (cls == RouteKind::kCustomer || cls == RouteKind::kPeer) {
+      cls = RouteKind::kCustomer;
+    } else if (cust_dist_[ps] < kInf) {
+      cls = RouteKind::kCustomer;
+    } else if (peer_dist_[ps] < kInf) {
+      cls = RouteKind::kPeer;
+    } else {
+      cls = RouteKind::kProvider;
+    }
+  }
+  throw std::logic_error("RouteTable::ecmp_path: path reconstruction did not terminate");
+}
+
 RouteComputer::RouteComputer(const topo::AsGraph& graph) : graph_(graph) {}
 
 RouteTable RouteComputer::compute(topo::AsId dest) const {
@@ -137,11 +228,7 @@ RouteTable RouteComputer::compute(topo::AsId dest, const std::vector<bool>& link
   // --- Phase 3: provider routes, Dijkstra down customer edges. ---
   // advertised(x): length of the route x exports to its customers = the
   // length of x's *selected* route (customer > peer > provider).
-  auto advertised = [&table](std::size_t x) {
-    if (table.cust_dist_[x] < RouteTable::kInf) return table.cust_dist_[x];
-    if (table.peer_dist_[x] < RouteTable::kInf) return table.peer_dist_[x];
-    return table.prov_dist_[x];
-  };
+  auto advertised = [&table](std::size_t x) { return table.advertised(x); };
 
   using Entry = std::pair<std::int32_t, AsId>;  // (advertised length, AS)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;

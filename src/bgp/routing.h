@@ -45,10 +45,38 @@ class RouteTable {
   /// Full AS path src..dest (inclusive).  Empty if unreachable.
   std::vector<topo::AsId> path(topo::AsId src) const;
 
+  /// Equal-cost alternates: every neighbor of `src` that offers a route
+  /// of the same (class, length) as src's selected route, ascending by
+  /// AS id.  path() always follows the lowest-id one; the others are
+  /// the ECMP set a load-balancing forwarder may spread flows across.
+  /// Recomputed on demand from the stored per-class distances, so the
+  /// table's storage (and its sharing through EpochRouteCache) is
+  /// unchanged.  `graph`/`link_up` must be the ones this table was
+  /// computed from.  Empty for the destination itself or unreachable
+  /// sources.
+  std::vector<topo::AsId> ecmp_next_hops(topo::AsId src, const topo::AsGraph& graph,
+                                         const std::vector<bool>& link_up) const;
+
+  /// Flow-hashed equal-cost path: at every hop, `flow_hash` picks one
+  /// of that hop's equal-cost alternates (ECMP forwarding).  The result
+  /// has the same class and length as path() — only the concrete AS
+  /// sequence may differ — and is a pure function of (table, flow_hash),
+  /// so it is deterministic across shard layouts.  Empty if unreachable.
+  std::vector<topo::AsId> ecmp_path(topo::AsId src, std::uint64_t flow_hash,
+                                    const topo::AsGraph& graph,
+                                    const std::vector<bool>& link_up) const;
+
  private:
   friend class RouteComputer;
 
   static constexpr std::int32_t kInf = 1 << 28;
+
+  /// Length of the route `x` exports to customers (its selected route).
+  std::int32_t advertised(std::size_t x) const;
+  /// Equal-cost next hops out of `x` when forwarding in class `cls`.
+  std::vector<topo::AsId> class_next_hops(topo::AsId x, RouteKind cls,
+                                          const topo::AsGraph& graph,
+                                          const std::vector<bool>& link_up) const;
 
   topo::AsId dest_;
   std::vector<RouteKind> kind_;

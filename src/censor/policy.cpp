@@ -50,11 +50,19 @@ std::vector<std::pair<std::string, double>> default_censorship_country_weights()
           {"TH", 0.8}, {"MY", 0.8}, {"ID", 0.8}, {"VN", 0.8}, {"IT", 0.8}, {"CZ", 0.8}};
 }
 
+std::uint64_t path_fingerprint(std::span<const topo::AsId> path) {
+  std::uint64_t fp = 0x9A7Bu;
+  for (const topo::AsId as : path) {
+    fp = util::mix64(fp, static_cast<std::uint64_t>(static_cast<std::uint32_t>(as)));
+  }
+  return fp;
+}
+
 CensorRegistry::CensorRegistry(std::int32_t num_ases, std::vector<CensorPolicy> policies)
     : policies_(std::move(policies)),
       policy_index_(static_cast<std::size_t>(num_ases)) {
   for (std::size_t i = 0; i < policies_.size(); ++i) {
-    const auto& p = policies_[i];
+    auto& p = policies_[i];
     if (p.censor < 0 || p.censor >= num_ases) {
       throw std::invalid_argument("CensorRegistry: policy for unknown AS");
     }
@@ -64,6 +72,10 @@ CensorRegistry::CensorRegistry(std::int32_t num_ases, std::vector<CensorPolicy> 
     if (p.active_from >= p.active_to) {
       throw std::invalid_argument("CensorRegistry: empty active window");
     }
+    if (!(p.path_fraction > 0.0) || p.path_fraction > 1.0) {
+      throw std::invalid_argument("CensorRegistry: path_fraction outside (0, 1]");
+    }
+    std::sort(p.ingress_ases.begin(), p.ingress_ases.end());
     policy_index_[static_cast<std::size_t>(p.censor)].push_back(static_cast<std::int32_t>(i));
   }
 }
@@ -92,8 +104,44 @@ bool CensorRegistry::path_censored(std::span<const topo::AsId> path, UrlCategory
 topo::AsId CensorRegistry::first_censor_on_path(std::span<const topo::AsId> path,
                                                 UrlCategory category, Anomaly anomaly,
                                                 util::Day day) const {
-  for (const topo::AsId as : path) {
-    if (applies(as, category, anomaly, day)) return as;
+  // Path-hash only computed when some matching policy actually carries a
+  // path_fraction predicate (the common case has none).
+  std::uint64_t fp = 0;
+  bool fp_ready = false;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const topo::AsId as = path[i];
+    if (as < 0 || as >= static_cast<topo::AsId>(policy_index_.size())) continue;
+    const topo::AsId ingress = i > 0 ? path[i - 1] : topo::kInvalidAs;
+    for (const auto idx : policy_index_[static_cast<std::size_t>(as)]) {
+      const auto& p = policies_[static_cast<std::size_t>(idx)];
+      if (day < p.active_from || day >= p.active_to) continue;
+      if (std::find(p.anomalies.begin(), p.anomalies.end(), anomaly) == p.anomalies.end()) {
+        continue;
+      }
+      if (std::find(p.categories.begin(), p.categories.end(), category) == p.categories.end()) {
+        continue;
+      }
+      // Routing-induced predicate: the traffic must enter the censor via
+      // one of the filtered ingress neighbors.  A path that *originates*
+      // at the censor has no ingress link, so ingress policies skip it.
+      if (!p.ingress_ases.empty() &&
+          (ingress == topo::kInvalidAs ||
+           !std::binary_search(p.ingress_ases.begin(), p.ingress_ases.end(), ingress))) {
+        continue;
+      }
+      // Path-diversity predicate: fires on the `path_fraction` slice of
+      // path-hash space.  Deterministic per (policy, exact path).
+      if (p.path_fraction < 1.0) {
+        if (!fp_ready) {
+          fp = path_fingerprint(path);
+          fp_ready = true;
+        }
+        const double u =
+            static_cast<double>(util::mix64(p.path_salt, fp) >> 11) * 0x1.0p-53;
+        if (u >= p.path_fraction) continue;
+      }
+      return as;
+    }
   }
   return topo::kInvalidAs;
 }

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -56,15 +57,46 @@ inline constexpr std::size_t kNumCategories = 9;
 
 std::string to_string(UrlCategory c);
 
+/// "Never expires": the default policy end day.  Policies used to
+/// default to util::kDaysPerYear, which silently turned every censor
+/// off after day 365 — a multi-year monitor replay spent its later
+/// years measuring a censor-free world.  Open-ended is the safe
+/// default; generators that model a policy *switch* set explicit
+/// bounds.
+inline constexpr util::Day kPolicyNoExpiry = std::numeric_limits<util::Day>::max();
+
 /// One censorship policy: `censor` filters `categories`, producing
 /// `anomalies`, between days [active_from, active_to).
+///
+/// Two optional *path predicates* narrow where the policy fires (the
+/// scenario-regime layer generates them; see censor/regime.h):
+///   * `ingress_ases` — routing-induced censorship: the policy fires
+///     only when traffic reaches the censor from one of these neighbor
+///     ASes (the filtered ingress links).  Path churn that moves a
+///     client onto or off a filtered ingress flips censorship on/off
+///     for that client even though the censor sits still.
+///   * `path_fraction`/`path_salt` — path-diversity inconsistency: the
+///     policy fires only on the fraction of full-path-hash space below
+///     `path_fraction` (DPI deployed on some internal load-balanced
+///     paths but not others).  The same (URL, day) can draw different
+///     verdicts on different paths through the same censor.
 struct CensorPolicy {
   topo::AsId censor = topo::kInvalidAs;
   std::vector<UrlCategory> categories;
   std::vector<Anomaly> anomalies;
   util::Day active_from = 0;
-  util::Day active_to = util::kDaysPerYear;
+  util::Day active_to = kPolicyNoExpiry;
+  /// Sorted; empty = fires on every ingress.
+  std::vector<topo::AsId> ingress_ases;
+  /// Fraction of path-hash space the policy covers; 1.0 = every path.
+  double path_fraction = 1.0;
+  std::uint64_t path_salt = 0;
 };
+
+/// Deterministic hash of a full AS path, the input to the
+/// `path_fraction` predicate.  Exposed so tests and generators can
+/// reason about which side of a policy's threshold a path falls.
+std::uint64_t path_fingerprint(std::span<const topo::AsId> path);
 
 /// Queryable registry of ground-truth policies.
 class CensorRegistry {
@@ -72,6 +104,8 @@ class CensorRegistry {
   CensorRegistry(std::int32_t num_ases, std::vector<CensorPolicy> policies);
 
   /// Does `as_id` censor `category` with signature `anomaly` on `day`?
+  /// AS-level check: path predicates (ingress_ases / path_fraction) are
+  /// NOT evaluated here — use the path-based queries for those.
   bool applies(topo::AsId as_id, UrlCategory category, Anomaly anomaly, util::Day day) const;
 
   /// Does any AS on `path` censor this (category, anomaly) on `day`?
@@ -90,8 +124,12 @@ class CensorRegistry {
   /// Anomaly types AS `as_id` ever produces (union over its policies).
   std::vector<Anomaly> anomalies_of(topo::AsId as_id) const;
 
+  /// Total-function contract shared with applies()/anomalies_of(): any
+  /// AS id outside [0, num_ases) — e.g. from a malformed ip2as mapping
+  /// — is simply "not a censor", never an exception.
   bool is_censor(topo::AsId as_id) const {
-    return as_id >= 0 && !policy_index_.at(static_cast<std::size_t>(as_id)).empty();
+    return as_id >= 0 && static_cast<std::size_t>(as_id) < policy_index_.size() &&
+           !policy_index_[static_cast<std::size_t>(as_id)].empty();
   }
 
  private:

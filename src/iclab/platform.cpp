@@ -321,6 +321,31 @@ void Platform::run_shard(MeasurementSink& sink, const ShardRange& range,
     return path;
   };
 
+  // ECMP variant of node_path: same exit-provider selection, but the
+  // remainder of the path load-balances across equal-cost alternates
+  // keyed on the flow hash.
+  auto ecmp_node_path = [this](const bgp::RouteTable& table, AsId vp, std::size_t node,
+                               std::uint64_t flow_hash,
+                               const std::vector<bool>& link_up) -> std::vector<AsId> {
+    if (!table.reachable(vp)) return {};
+    if (node == 0) return table.ecmp_path(vp, flow_hash, graph_, link_up);
+    std::vector<AsId> providers;
+    for (const auto& nb : graph_.neighbors(vp)) {
+      if (nb.kind == topo::NeighborKind::kProvider &&
+          link_up[static_cast<std::size_t>(nb.link)]) {
+        providers.push_back(nb.as);
+      }
+    }
+    std::sort(providers.begin(), providers.end());
+    if (providers.size() < 2) return table.ecmp_path(vp, flow_hash, graph_, link_up);
+    const AsId exit = providers[node % providers.size()];
+    if (!table.reachable(exit)) return table.ecmp_path(vp, flow_hash, graph_, link_up);
+    std::vector<AsId> path{vp};
+    const std::vector<AsId> rest = table.ecmp_path(exit, flow_hash, graph_, link_up);
+    path.insert(path.end(), rest.begin(), rest.end());
+    return path;
+  };
+
   // The routing view of the epoch the churn engine currently sits at:
   // shared through the cache when one is attached (identical tables —
   // the churn trajectory is a pure function of the seed), computed
@@ -404,18 +429,31 @@ void Platform::run_shard(MeasurementSink& sink, const ShardRange& range,
                     node) *
                        urls_.size() +
                    ui));
-              m.truth_path = path;
-              m.unreachable = path.empty();
+              // Multipath regime: this flow's path may be an equal-cost
+              // alternate of the default.  The flutter history and
+              // on_path (AS-level churn tracking) stay keyed on the
+              // default best path — ECMP spreads *flows*, it does not
+              // change what BGP selected.
+              std::vector<AsId> mpath = path;
+              if (config_.ecmp_multipath && !path.empty()) {
+                const std::uint64_t flow_hash = util::mix64(
+                    util::mix64(seed_ ^ 0xEC3Fu, (static_cast<std::uint64_t>(vi) << 20) ^
+                                                     static_cast<std::uint64_t>(node)),
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(url_id)));
+                mpath = ecmp_node_path(table, vp, node, flow_hash, churn.link_up());
+              }
+              m.truth_path = mpath;
+              m.unreachable = mpath.empty();
 
               if (m.unreachable) {
                 for (auto& t : m.traceroutes) t.error = true;
               } else {
-                m.traceroutes = tracer.trace_triple(path, prev_paths[local_node_index][di],
+                m.traceroutes = tracer.trace_triple(mpath, prev_paths[local_node_index][di],
                                                     config_.flutter_prob, rng);
                 for (const Anomaly a : kAllAnomalies) {
                   const auto ai = static_cast<std::size_t>(a);
                   const bool censored =
-                      registry_.path_censored(path, url.category, a, day);
+                      registry_.path_censored(mpath, url.category, a, day);
                   m.truth_censored[ai] = censored;
                   m.detected[ai] =
                       censored

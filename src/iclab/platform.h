@@ -152,6 +152,15 @@ struct PlatformConfig {
   /// Probability one of a measurement's three traceroutes races a route
   /// change and follows the previous day's path.
   double flutter_prob = 0.01;
+  /// ECMP/multipath regime (censor::ScenarioRegime::kMultipath): when
+  /// set, each flow — a (vantage node, URL) pair — is hashed across the
+  /// equal-cost alternates of the epoch's routing view instead of
+  /// always riding the single best path, so two URLs toward the same
+  /// destination can traverse different ASes within one epoch.  This
+  /// deliberately breaks the paper's one-path-per-epoch premise.  The
+  /// flow hash is a pure function of (seed, vantage, node, URL), so the
+  /// emitted stream stays bit-identical across shard layouts.
+  bool ecmp_multipath = false;
   util::Day num_days = util::kDaysPerYear;
   net::TracerouteConfig traceroute;
   censor::DetectorNoise noise;

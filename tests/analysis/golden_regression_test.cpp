@@ -22,10 +22,22 @@
 namespace ct::analysis {
 namespace {
 
-constexpr const char* kGoldenPath = CT_GOLDEN_DIR "/small_scenario.txt";
+// One golden file per scenario regime: the baseline keeps its historic
+// name, the stress regimes get a suffix (small_scenario_routing.txt,
+// ...).  CI's scenario matrix checks each regime's frozen numbers
+// through the sharded and streaming paths too.
+std::string golden_path() {
+  const censor::ScenarioRegime regime = censor::regime_from_env();
+  if (regime == censor::ScenarioRegime::kBaseline) {
+    return CT_GOLDEN_DIR "/small_scenario.txt";
+  }
+  return std::string(CT_GOLDEN_DIR "/small_scenario_") + censor::to_string(regime) + ".txt";
+}
 
 std::map<std::string, std::int64_t> headline_numbers(bool force_streaming = false) {
-  Scenario scenario(small_scenario());
+  ScenarioConfig config = small_scenario();
+  test::apply_env(config);
+  Scenario scenario(config);
   ExperimentOptions options;
   test::apply_env(options);
   if (force_streaming) options.streaming = true;
@@ -55,8 +67,9 @@ std::map<std::string, std::int64_t> headline_numbers(bool force_streaming = fals
 }
 
 std::map<std::string, std::int64_t> read_golden() {
-  std::ifstream in(kGoldenPath);
-  EXPECT_TRUE(in.good()) << "missing golden file " << kGoldenPath
+  const std::string path = golden_path();
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
                          << " (generate with CT_UPDATE_GOLDEN=1)";
   std::map<std::string, std::int64_t> expected;
   std::string line;
@@ -84,13 +97,16 @@ TEST(GoldenRegression, SmallScenarioHeadlineNumbers) {
   const std::map<std::string, std::int64_t> actual = headline_numbers();
 
   if (std::getenv("CT_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(kGoldenPath);
-    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
-    out << "# Headline numbers of analysis::small_scenario(), frozen by\n"
+    const std::string path = golden_path();
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << "# Headline numbers of analysis::small_scenario() under the \""
+        << censor::to_string(censor::regime_from_env())
+        << "\" regime, frozen by\n"
            "# golden_regression_test.cpp.  Regenerate with CT_UPDATE_GOLDEN=1\n"
            "# only for intentional behavior changes.\n";
     for (const auto& [key, value] : actual) out << key << "=" << value << "\n";
-    GTEST_SKIP() << "golden file regenerated at " << kGoldenPath;
+    GTEST_SKIP() << "golden file regenerated at " << path;
   }
 
   expect_matches_golden(actual);

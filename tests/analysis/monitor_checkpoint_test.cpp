@@ -26,6 +26,7 @@
 #include "analysis/checkpoint.h"
 #include "analysis/experiment.h"
 #include "analysis/scenario.h"
+#include "censor/regime.h"
 #include "shard_env.h"
 
 namespace ct::analysis {
@@ -132,6 +133,75 @@ TEST(MonitorCrashResume, ResumeUnderDifferentExecutionMode) {
                           {monitor_options(3, false), monitor_options(1, false),
                            monitor_options(3, true)}),
             expected);
+}
+
+TEST(MonitorCrashResume, EveryRegimeSurvivesKillResume) {
+  // The crash-safety contract is regime-independent: under each scenario
+  // regime, a monitor killed and resumed mid-run still reproduces the
+  // batch pipeline's report byte for byte.
+  for (const censor::ScenarioRegime regime : censor::all_regimes()) {
+    SCOPED_TRACE(censor::to_string(regime));
+    ScenarioConfig config = shard_scenario(61);
+    config.regime.regime = regime;
+    const std::string expected = batch_report(config);
+    EXPECT_EQ(crashy_report(config, monitor_options(1, true), {6, 13},
+                            {monitor_options(3, false)}),
+              expected);
+  }
+}
+
+TEST(MonitorCheckpoint, RefusesResumeUnderDifferentRegime) {
+  // The regime (and its knobs) are part of the config fingerprint:
+  // execution modes may change across a resume, the *world* may not.
+  ScenarioConfig routing = shard_scenario(62);
+  routing.regime.regime = censor::ScenarioRegime::kRoutingInduced;
+  Scenario routing_scenario(routing);
+  MonitorEngine source(routing_scenario, monitor_options(1, true));
+  source.run_until(6);
+  const std::string bytes = source.checkpoint();
+
+  ScenarioConfig baseline = shard_scenario(62);
+  Scenario baseline_scenario(baseline);
+  MonitorEngine other_regime(baseline_scenario, monitor_options(1, true));
+  EXPECT_THROW(other_regime.restore(bytes), CheckpointError);
+
+  ScenarioConfig other_knob = routing;
+  other_knob.regime.ingress_fraction = 0.75;
+  Scenario knob_scenario(other_knob);
+  MonitorEngine other(knob_scenario, monitor_options(1, true));
+  EXPECT_THROW(other.restore(bytes), CheckpointError);
+}
+
+TEST(MonitorStatsTest, ChurnCountersReplayDeterministicallyAcrossResume) {
+  // The banner's churn gauges come from a probe engine replayed to the
+  // watermark (ChurnEngine::advance_to) — a pure function of the seed,
+  // so a resumed monitor must report the same failure/repair totals as a
+  // straight run, under every regime, and the gauges must balance.
+  for (const censor::ScenarioRegime regime :
+       {censor::ScenarioRegime::kBaseline, censor::ScenarioRegime::kMultipath}) {
+    SCOPED_TRACE(censor::to_string(regime));
+    ScenarioConfig config = shard_scenario(63);
+    config.regime.regime = regime;
+    Scenario scenario(config);
+
+    MonitorEngine straight(scenario, monitor_options(1, true));
+    straight.run_until(12);
+    const MonitorStats expected = straight.stats();
+    EXPECT_GT(expected.churn_failures, 0);
+    EXPECT_EQ(expected.churn_failures - expected.churn_repairs,
+              static_cast<std::int64_t>(expected.churn_links_down));
+
+    auto crashy = std::make_unique<MonitorEngine>(scenario, monitor_options(1, true));
+    crashy->run_until(7);
+    const std::string bytes = crashy->checkpoint();
+    crashy = std::make_unique<MonitorEngine>(scenario, monitor_options(3, true));
+    crashy->restore(bytes);
+    crashy->run_until(12);
+    const MonitorStats resumed = crashy->stats();
+    EXPECT_EQ(resumed.churn_failures, expected.churn_failures);
+    EXPECT_EQ(resumed.churn_repairs, expected.churn_repairs);
+    EXPECT_EQ(resumed.churn_links_down, expected.churn_links_down);
+  }
 }
 
 TEST(MonitorCheckpoint, RestoreIsDeterministic) {

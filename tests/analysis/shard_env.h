@@ -8,7 +8,11 @@
 //   * CT_SAT_BACKEND — per-CNF backend selection: auto (the default)
 //     or one forced backend for every CNF (README "Solver backends"),
 //   * CT_SAT_DELTA — cross-window delta loading: on (the default) vs
-//     every CNF loaded from scratch (README "Delta loading").
+//     every CNF loaded from scratch (README "Delta loading"),
+//   * CT_SCENARIO — scenario regime: baseline (the default) or one of
+//     the stress regimes (README "Scenarios").  Unlike the knobs above
+//     this changes the *world*, not the execution strategy — but within
+//     one regime every execution mode must still agree byte for byte.
 // Tests that run the full experiment read both knobs from here, so the
 // env contract lives in exactly one place; the equivalence suites
 // (experiment_shard_test.cpp, streaming_equivalence_test.cpp) share
@@ -20,6 +24,7 @@
 
 #include "analysis/experiment.h"
 #include "analysis/scenario.h"
+#include "censor/regime.h"
 #include "sat/backend.h"
 #include "util/timewin.h"
 
@@ -43,12 +48,20 @@ inline void apply_env(ExperimentOptions& options) {
   options.analysis.delta = sat::DeltaPolicy::from_env();
 }
 
+/// Applies the CT_SCENARIO regime knob to a scenario config, so every
+/// suite built on these helpers runs under CI's scenario matrix.
+inline void apply_env(ScenarioConfig& config) {
+  config.regime = censor::RegimeConfig::from_env(config.regime);
+}
+
 /// The equivalence suites' scenario: small, but long enough (3 weeks)
 /// that day/week windows close mid-run and shard plans have room.
+/// Honors CT_SCENARIO.
 inline ScenarioConfig shard_scenario(std::uint64_t seed) {
   ScenarioConfig cfg = small_scenario();
   cfg.platform.num_days = 3 * util::kDaysPerWeek;
   cfg.seed = seed;
+  apply_env(cfg);
   return cfg;
 }
 

@@ -127,6 +127,33 @@ TEST(Churn, VolatileLinksFailMoreOften) {
   EXPECT_GT(volatile_rate, stable_rate * 10);
 }
 
+TEST(Churn, RepairsBalanceFailures) {
+  // Counter invariant: every link that failed is either still down or
+  // was repaired, so failures - repairs == links currently down.
+  const auto g = test_graph();
+  ChurnConfig cfg;
+  cfg.volatile_fail_prob = 0.3;
+  cfg.stable_fail_prob = 0.05;
+  cfg.repair_prob = 0.3;
+  ChurnEngine engine(g, cfg, 17);
+  for (int i = 0; i < 60; ++i) {
+    engine.advance();
+    ASSERT_EQ(engine.total_failures() - engine.total_repairs(),
+              static_cast<std::int64_t>(engine.links_down()));
+  }
+  EXPECT_GT(engine.total_repairs(), 0);
+}
+
+TEST(Churn, ZeroProbabilitiesMeanZeroRepairs) {
+  const auto g = test_graph();
+  ChurnConfig cfg;
+  cfg.volatile_fail_prob = 0.0;
+  cfg.stable_fail_prob = 0.0;
+  ChurnEngine engine(g, cfg, 3);
+  for (int i = 0; i < 50; ++i) engine.advance();
+  EXPECT_EQ(engine.total_repairs(), 0);
+}
+
 TEST(Churn, AdvanceToReplaysExactly) {
   const auto g = test_graph();
   ChurnEngine stepped(g, ChurnConfig{}, 7);
@@ -139,6 +166,7 @@ TEST(Churn, AdvanceToReplaysExactly) {
   EXPECT_EQ(replayed.link_up(), stepped.link_up());
   EXPECT_EQ(replayed.links_down(), stepped.links_down());
   EXPECT_EQ(replayed.total_failures(), stepped.total_failures());
+  EXPECT_EQ(replayed.total_repairs(), stepped.total_repairs());
 
   replayed.advance_to(37);  // no-op at the target epoch
   EXPECT_EQ(replayed.epoch(), 37);

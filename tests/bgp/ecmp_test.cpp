@@ -1,0 +1,166 @@
+// Equal-cost multipath (RouteTable::ecmp_next_hops / ecmp_path): the
+// kMultipath regime's forwarding model.  ECMP never changes route
+// *selection* — path() and the stored tables are untouched — it only
+// spreads flows across the equal-(class, length) alternates, so an
+// ecmp_path must always match path() in endpoints, class, and length.
+#include "bgp/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topo/generator.h"
+#include "util/rng.h"
+
+namespace ct::bgp {
+namespace {
+
+using topo::AsGraph;
+using topo::AsId;
+using topo::AsTier;
+using topo::AsClass;
+using topo::LinkRelation;
+using topo::Region;
+
+/// Diamond world with two equal-cost provider routes:
+///
+///   T1a ==== T1b       (tier-1 peers)
+///    |        |
+///   P1       P2        (transits)
+///    \       /
+///      VP   D(cust of both tier-1s)
+///
+/// VP is multihomed to P1 and P2; D is a customer of both tier-1s.  VP's
+/// two provider routes to D (via P1-T1a and via P2-T1b) tie on length.
+struct Diamond {
+  AsGraph g;
+  AsId t1a, t1b, p1, p2, vp, d;
+
+  Diamond() {
+    const auto c0 = g.add_country("CN", Region::kAsia);
+    const auto c1 = g.add_country("GB", Region::kEurope);
+    t1a = g.add_as(10, AsTier::kTier1, AsClass::kTransitAccess, c0);
+    t1b = g.add_as(11, AsTier::kTier1, AsClass::kTransitAccess, c1);
+    p1 = g.add_as(20, AsTier::kTransit, AsClass::kTransitAccess, c0);
+    p2 = g.add_as(21, AsTier::kTransit, AsClass::kTransitAccess, c1);
+    vp = g.add_as(30, AsTier::kStub, AsClass::kEnterprise, c0);
+    d = g.add_as(31, AsTier::kStub, AsClass::kContent, c1);
+    g.add_link(t1a, t1b, LinkRelation::kPeerPeer, false);
+    g.add_link(p1, t1a, LinkRelation::kCustomerProvider, false);
+    g.add_link(p2, t1b, LinkRelation::kCustomerProvider, false);
+    g.add_link(vp, p1, LinkRelation::kCustomerProvider, false);
+    g.add_link(vp, p2, LinkRelation::kCustomerProvider, false);
+    g.add_link(d, t1a, LinkRelation::kCustomerProvider, false);
+    g.add_link(d, t1b, LinkRelation::kCustomerProvider, false);
+  }
+
+  std::vector<bool> all_up() const {
+    return std::vector<bool>(static_cast<std::size_t>(g.num_links()), true);
+  }
+};
+
+TEST(Ecmp, NextHopsContainTheSelectedHopFirst) {
+  Diamond w;
+  const RouteComputer rc(w.g);
+  const RouteTable t = rc.compute(w.d);
+  const auto up = w.all_up();
+  const auto hops = t.ecmp_next_hops(w.vp, w.g, up);
+  // Both provider routes tie: {P1, P2}, ascending by id.
+  EXPECT_EQ(hops, (std::vector<AsId>{w.p1, w.p2}));
+  // path() follows the lowest-id alternate.
+  EXPECT_EQ(t.path(w.vp).at(1), w.p1);
+  // Destination and single-route sources.
+  EXPECT_TRUE(t.ecmp_next_hops(w.d, w.g, up).empty());
+  EXPECT_EQ(t.ecmp_next_hops(w.p1, w.g, up), (std::vector<AsId>{w.t1a}));
+}
+
+TEST(Ecmp, PathMatchesSelectedRouteShape) {
+  Diamond w;
+  const RouteComputer rc(w.g);
+  const RouteTable t = rc.compute(w.d);
+  const auto up = w.all_up();
+  const auto base = t.path(w.vp);
+  std::set<std::vector<AsId>> seen;
+  for (std::uint64_t h = 0; h < 32; ++h) {
+    const auto mp = t.ecmp_path(w.vp, h, w.g, up);
+    ASSERT_EQ(mp.size(), base.size());  // same advertised length
+    EXPECT_EQ(mp.front(), w.vp);
+    EXPECT_EQ(mp.back(), w.d);
+    // Every consecutive hop is an up link in the graph.
+    for (std::size_t i = 0; i + 1 < mp.size(); ++i) {
+      bool adjacent = false;
+      for (const auto& nb : w.g.neighbors(mp[i])) {
+        if (nb.as == mp[i + 1]) adjacent = up[static_cast<std::size_t>(nb.link)];
+      }
+      EXPECT_TRUE(adjacent) << "hop " << mp[i] << "->" << mp[i + 1];
+    }
+    // Deterministic per hash.
+    EXPECT_EQ(mp, t.ecmp_path(w.vp, h, w.g, up));
+    seen.insert(mp);
+  }
+  // The diamond offers two distinct equal-cost paths; 32 hashes must
+  // exercise both.
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen.count(base));  // the default path is one of them
+}
+
+TEST(Ecmp, SingleHomedChainEqualsPath) {
+  Diamond w;
+  const RouteComputer rc(w.g);
+  const auto up = w.all_up();
+  const RouteTable t = rc.compute(w.d);
+  // P1 -> T1a -> D has no alternates anywhere.
+  for (std::uint64_t h = 0; h < 8; ++h) {
+    EXPECT_EQ(t.ecmp_path(w.p1, h, w.g, up), t.path(w.p1));
+  }
+  // Unreachable source yields empty, same as path().
+  auto cut = up;
+  cut[3] = false;  // VP-P1
+  cut[4] = false;  // VP-P2
+  const RouteTable t2 = rc.compute(w.d, cut);
+  EXPECT_TRUE(t2.ecmp_path(w.vp, 7, w.g, cut).empty());
+  EXPECT_TRUE(t2.ecmp_next_hops(w.vp, w.g, cut).empty());
+}
+
+TEST(Ecmp, GeneratedTopologyPropertiesHold) {
+  topo::TopologyConfig cfg;
+  cfg.num_ases = 120;
+  cfg.num_tier1 = 4;
+  cfg.num_transit = 24;
+  cfg.num_countries = 10;
+  const AsGraph g = topo::generate_topology(cfg, 5);
+  const RouteComputer rc(g);
+  std::vector<bool> up(static_cast<std::size_t>(g.num_links()), true);
+  for (std::size_t i = 0; i < up.size(); i += 9) up[i] = false;
+
+  util::Rng rng(4242);
+  std::int64_t diverged = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto dest = static_cast<AsId>(rng.index(static_cast<std::size_t>(g.num_ases())));
+    const RouteTable t = rc.compute(dest, up);
+    for (AsId src = 0; src < g.num_ases(); ++src) {
+      if (!t.reachable(src)) continue;
+      const auto base = t.path(src);
+      const auto mp = t.ecmp_path(src, rng(), g, up);
+      ASSERT_EQ(mp.size(), base.size()) << "src " << src << " dest " << dest;
+      EXPECT_EQ(mp.front(), src);
+      EXPECT_EQ(mp.back(), dest);
+      // Loop-free.
+      std::set<AsId> unique(mp.begin(), mp.end());
+      EXPECT_EQ(unique.size(), mp.size());
+      // The selected next hop is always in the ECMP set.
+      if (base.size() > 1) {
+        const auto hops = t.ecmp_next_hops(src, g, up);
+        EXPECT_TRUE(std::find(hops.begin(), hops.end(), base[1]) != hops.end());
+        EXPECT_TRUE(std::is_sorted(hops.begin(), hops.end()));
+      }
+      if (mp != base) ++diverged;
+    }
+  }
+  // A 120-AS topology with failures has real ECMP diversity somewhere.
+  EXPECT_GT(diverged, 0);
+}
+
+}  // namespace
+}  // namespace ct::bgp

@@ -71,6 +71,76 @@ TEST(CensorRegistry, CensorAsesAndAnomalies) {
   EXPECT_TRUE(reg.anomalies_of(3).empty());
 }
 
+TEST(CensorRegistry, QueriesAreBoundsSafe) {
+  // is_censor/applies/anomalies_of must answer "no" for any AS id, not
+  // throw: path vectors can carry ids past the registry's num_ases when
+  // a registry is built against a sub-topology.
+  CensorRegistry reg(3, {policy(1, UrlCategory::kNews, Anomaly::kDns)});
+  EXPECT_FALSE(reg.is_censor(-1));
+  EXPECT_FALSE(reg.is_censor(3));       // one past the end
+  EXPECT_FALSE(reg.is_censor(100000));  // far out of range
+  EXPECT_FALSE(reg.applies(100000, UrlCategory::kNews, Anomaly::kDns, 0));
+  EXPECT_TRUE(reg.anomalies_of(100000).empty());
+  const std::vector<topo::AsId> wild_path{0, 100000, 1};
+  EXPECT_TRUE(reg.path_censored(wild_path, UrlCategory::kNews, Anomaly::kDns, 0));
+}
+
+TEST(CensorRegistry, DefaultWindowIsOpenEnded) {
+  // Satellite fix: the default active_to no longer closes at day 364 —
+  // censors keep censoring in multi-year runs.
+  CensorPolicy p;
+  p.censor = 1;
+  p.categories = {UrlCategory::kNews};
+  p.anomalies = {Anomaly::kDns};
+  EXPECT_EQ(p.active_to, kPolicyNoExpiry);
+  CensorRegistry reg(2, {p});
+  EXPECT_TRUE(reg.applies(1, UrlCategory::kNews, Anomaly::kDns, util::kDaysPerYear));
+  EXPECT_TRUE(reg.applies(1, UrlCategory::kNews, Anomaly::kDns, 100000));
+}
+
+TEST(CensorRegistry, IngressPredicateFiltersByPreviousHop) {
+  CensorPolicy p = policy(2, UrlCategory::kNews, Anomaly::kDns);
+  p.ingress_ases = {3, 1};  // unsorted on purpose: ctor sorts
+  CensorRegistry reg(5, {p});
+  // Enters censor 2 via AS 1 (filtered ingress) -> censored.
+  EXPECT_TRUE(reg.path_censored({{0, 1, 2, 4}}, UrlCategory::kNews, Anomaly::kDns, 0));
+  // Enters via AS 0 (clean ingress) -> passes.
+  EXPECT_FALSE(reg.path_censored({{1, 0, 2, 4}}, UrlCategory::kNews, Anomaly::kDns, 0));
+  // Path originates at the censor: no ingress link, ingress policies skip.
+  EXPECT_FALSE(reg.path_censored({{2, 4}}, UrlCategory::kNews, Anomaly::kDns, 0));
+  // applies() ignores path predicates (AS-level ground-truth view).
+  EXPECT_TRUE(reg.applies(2, UrlCategory::kNews, Anomaly::kDns, 0));
+}
+
+TEST(CensorRegistry, PathDitherIsDeterministicAndProportional) {
+  CensorPolicy p = policy(1, UrlCategory::kNews, Anomaly::kDns);
+  p.path_fraction = 0.5;
+  p.path_salt = 0x1234;
+  CensorRegistry reg(64, {p});
+  std::int32_t censored = 0;
+  const std::int32_t kPaths = 400;
+  for (std::int32_t i = 0; i < kPaths; ++i) {
+    // Distinct paths through the censor: vary the endpoints.
+    const std::vector<topo::AsId> path{2 + (i % 31), 1, 33 + (i % 29)};
+    const bool a = reg.path_censored(path, UrlCategory::kNews, Anomaly::kDns, 0);
+    const bool b = reg.path_censored(path, UrlCategory::kNews, Anomaly::kDns, 0);
+    EXPECT_EQ(a, b);  // same path, same verdict — always
+    censored += a ? 1 : 0;
+  }
+  // ~fraction of path-hash space censored (loose 3-sigma-ish band).
+  EXPECT_GT(censored, kPaths / 4);
+  EXPECT_LT(censored, 3 * kPaths / 4);
+}
+
+TEST(CensorRegistry, RejectsBadPathFraction) {
+  CensorPolicy zero = policy(0, UrlCategory::kNews, Anomaly::kDns);
+  zero.path_fraction = 0.0;
+  EXPECT_THROW(CensorRegistry(2, {zero}), std::invalid_argument);
+  CensorPolicy big = policy(0, UrlCategory::kNews, Anomaly::kDns);
+  big.path_fraction = 1.5;
+  EXPECT_THROW(CensorRegistry(2, {big}), std::invalid_argument);
+}
+
 TEST(CensorRegistry, PolicyScheduleChange) {
   // Same censor, DNS before day 100, RST after.
   CensorRegistry reg(2, {policy(1, UrlCategory::kNews, Anomaly::kDns, 0, 100),
@@ -170,7 +240,9 @@ TEST(GenerateCensors, PolicyChangeSplitsSchedule) {
     ASSERT_EQ(policies.size(), 2u);
     EXPECT_EQ(policies[0]->active_from, 0);
     EXPECT_EQ(policies[0]->active_to, policies[1]->active_from);
-    EXPECT_EQ(policies[1]->active_to, util::kDaysPerYear);
+    // The post-switch policy is open-ended: censors do not go dark at the
+    // year boundary (multi-year runs keep censoring past day 364).
+    EXPECT_EQ(policies[1]->active_to, kPolicyNoExpiry);
   }
 }
 
